@@ -1,0 +1,80 @@
+// Command dqm-experiments regenerates the paper's evaluation: every figure
+// of Section 6 (and the §3.2.1 worked examples plus the design ablations)
+// has a registered driver.
+//
+// Usage:
+//
+//	dqm-experiments -figure all                 # print every figure as a table
+//	dqm-experiments -figure 3 -seed 7 -r 10     # Figure 3 panels a-c
+//	dqm-experiments -figure 6a -csv out/        # also write out/fig6a.csv
+//
+// See EXPERIMENTS.md for the paper-vs-measured record produced from these
+// runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dqm/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dqm-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dqm-experiments", flag.ContinueOnError)
+	var (
+		figure = fs.String("figure", "all", "figure id or 'all'; known ids: "+fmt.Sprint(experiment.IDs()))
+		seed   = fs.Uint64("seed", 42, "random seed")
+		perms  = fs.Int("r", 10, "permutations to average over (the paper's r)")
+		scale  = fs.Float64("scale", 1, "task-count scale factor (reduce for quick runs)")
+		csvDir = fs.String("csv", "", "directory to also write per-figure CSV files")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiment.Options{Seed: *seed, Permutations: *perms, TaskScale: *scale}
+	ids := []string{*figure}
+	if *figure == "all" {
+		ids = experiment.IDs()
+	}
+	for _, id := range ids {
+		driver, err := experiment.ByID(id)
+		if err != nil {
+			return err
+		}
+		for _, fig := range driver(opts) {
+			if err := fig.WriteTable(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, fig); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir string, fig *experiment.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, fig.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fig.WriteCSV(f)
+}

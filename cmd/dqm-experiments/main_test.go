@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-figure", "sec321", "-r", "2", "-scale", "0.2", "-seed", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "sec321") {
+		t.Fatalf("missing figure output:\n%s", sb.String())
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-figure", "nope"}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := run([]string{"-figure", "7b", "-r", "2", "-scale", "0.05", "-csv", dir}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig7b.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "x,") {
+		t.Fatalf("csv header wrong:\n%s", data)
+	}
+}
+
+func TestRunMultiPanelFigure(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-figure", "3", "-r", "2", "-scale", "0.05"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"fig3a", "fig3b", "fig3c"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("missing panel %s", id)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Command dqm-gen synthesizes the paper's evaluation datasets with planted
+// ground truth and, optionally, a simulated crowd vote log over the
+// verification item space (candidate pairs for the entity-resolution
+// datasets, records for the address dataset).
+//
+// Usage:
+//
+//	dqm-gen -dataset restaurant -out out/            # records + truth
+//	dqm-gen -dataset address -tasks 300 -out out/    # … plus a vote log
+//	dqm-gen -dataset synthetic -n 1000 -dirty 100 -tasks 100 -fp 0.01 -fn 0.1 -out out/
+//
+// The vote log written to <out>/votes.csv feeds straight into cmd/dqm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"dqm/internal/crowd"
+	"dqm/internal/dataset"
+	"dqm/internal/entity"
+	"dqm/internal/pipeline"
+	"dqm/internal/votelog"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dqm-gen:", err)
+		os.Exit(1)
+	}
+}
+
+type genFlags struct {
+	dataset      string
+	out          string
+	seed         uint64
+	tasks        int
+	itemsPerTask int
+	fp, fn       float64
+	n, dirty     int
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dqm-gen", flag.ContinueOnError)
+	var g genFlags
+	fs.StringVar(&g.dataset, "dataset", "restaurant", "dataset: restaurant, product, address or synthetic")
+	fs.StringVar(&g.out, "out", ".", "output directory")
+	fs.Uint64Var(&g.seed, "seed", 42, "random seed")
+	fs.IntVar(&g.tasks, "tasks", 0, "also simulate a crowd vote log with this many tasks")
+	fs.IntVar(&g.itemsPerTask, "items-per-task", 10, "items per crowd task")
+	fs.Float64Var(&g.fp, "fp", -1, "worker false-positive rate (default: dataset profile)")
+	fs.Float64Var(&g.fn, "fn", -1, "worker false-negative rate (default: dataset profile)")
+	fs.IntVar(&g.n, "n", 1000, "synthetic: population size")
+	fs.IntVar(&g.dirty, "dirty", 100, "synthetic: number of dirty items")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(g.out, 0o755); err != nil {
+		return err
+	}
+
+	switch g.dataset {
+	case "restaurant":
+		return genRestaurant(g, out)
+	case "product":
+		return genProduct(g, out)
+	case "address":
+		return genAddress(g, out)
+	case "synthetic":
+		return genSynthetic(g, out)
+	default:
+		return fmt.Errorf("unknown dataset %q", g.dataset)
+	}
+}
+
+func genRestaurant(g genFlags, out io.Writer) error {
+	data := dataset.GenerateRestaurants(dataset.RestaurantConfig{Seed: g.seed})
+	rows := [][]string{{"id", "name", "address", "city", "category"}}
+	for _, r := range data.Records {
+		rows = append(rows, []string{strconv.Itoa(r.ID), r.Name, r.Address, r.City, r.Category})
+	}
+	if err := writeCSVFile(filepath.Join(g.out, "records.csv"), rows); err != nil {
+		return err
+	}
+	cands := pipeline.RestaurantCandidates(data, 0.5, 0.9)
+	fmt.Fprintf(out, "restaurant: %d records, %d duplicate pairs; window kept %d candidates (%d true dups, %d missed below, %d auto-dirty)\n",
+		len(data.Records), len(data.DuplicatePairs), len(cands.Pairs),
+		cands.Truth.NumDirty(), cands.MissedBelow, cands.AutoDirty)
+	if err := writeCandidates(g.out, cands); err != nil {
+		return err
+	}
+	profile := crowd.Profile{FPRate: 0.05, FNRate: 0.25, Jitter: 0.25}
+	return maybeVotes(g, out, cands.Population("restaurant"), profile)
+}
+
+func genProduct(g genFlags, out io.Writer) error {
+	data := dataset.GenerateProducts(dataset.ProductConfig{Seed: g.seed})
+	rows := [][]string{{"retailer", "id", "name", "vendor", "price"}}
+	for _, side := range [][]dataset.Product{data.Amazon, data.Google} {
+		for _, p := range side {
+			rows = append(rows, []string{p.Retailer.String(), strconv.Itoa(p.ID), p.Name, p.Vendor,
+				strconv.FormatFloat(p.Price, 'f', 2, 64)})
+		}
+	}
+	if err := writeCSVFile(filepath.Join(g.out, "records.csv"), rows); err != nil {
+		return err
+	}
+	cands := pipeline.ProductCandidates(data, 0.4, 0.7)
+	fmt.Fprintf(out, "product: %d+%d records, %d matches; window kept %d candidates (%d true dups, %d missed, %d auto-dirty)\n",
+		len(data.Amazon), len(data.Google), len(data.MatchPairs), len(cands.Pairs),
+		cands.Truth.NumDirty(), cands.MissedBelow, cands.AutoDirty)
+	if err := writeCandidates(g.out, cands); err != nil {
+		return err
+	}
+	profile := crowd.Profile{FPRate: 0.004, FNRate: 0.45, Jitter: 0.25}
+	return maybeVotes(g, out, cands.Population("product"), profile)
+}
+
+func genAddress(g genFlags, out io.Writer) error {
+	data := dataset.GenerateAddresses(dataset.AddressConfig{Seed: g.seed})
+	rows := [][]string{{"id", "address", "kind"}}
+	for i, a := range data.Records {
+		rows = append(rows, []string{strconv.Itoa(i), a.String(), a.Kind.String()})
+	}
+	if err := writeCSVFile(filepath.Join(g.out, "records.csv"), rows); err != nil {
+		return err
+	}
+	if err := writeTruth(g.out, data.Truth); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "address: %d records, %d malformed\n", len(data.Records), data.Truth.NumDirty())
+	pop := &dataset.Population{Truth: data.Truth, Describe: "address records"}
+	profile := crowd.Profile{FPRate: 0.04, FNRate: 0.3, Jitter: 0.25}
+	return maybeVotes(g, out, pop, profile)
+}
+
+func genSynthetic(g genFlags, out io.Writer) error {
+	pop := dataset.NewPlantedPopulation(g.n, g.dirty, g.seed, "synthetic")
+	if err := writeTruth(g.out, pop.Truth); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "synthetic: %d items, %d dirty\n", pop.N(), pop.NumDirty())
+	return maybeVotes(g, out, pop, crowd.Profile{FPRate: 0.01, FNRate: 0.1})
+}
+
+// maybeVotes simulates the crowd when -tasks is set and writes the vote log.
+func maybeVotes(g genFlags, out io.Writer, pop *dataset.Population, profile crowd.Profile) error {
+	if g.tasks <= 0 {
+		return nil
+	}
+	if g.fp >= 0 {
+		profile.FPRate = g.fp
+	}
+	if g.fn >= 0 {
+		profile.FNRate = g.fn
+	}
+	sim := crowd.NewSimulator(crowd.Config{
+		Truth:        pop.Truth.IsDirty,
+		N:            pop.N(),
+		Profile:      profile,
+		ItemsPerTask: g.itemsPerTask,
+		Seed:         g.seed,
+	})
+	entries := votelog.FromTasks(sim.Tasks(g.tasks))
+	path := filepath.Join(g.out, "votes.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := votelog.WriteCSV(f, entries); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d votes over %d tasks to %s (fp=%.3f fn=%.3f)\n",
+		len(entries), g.tasks, path, profile.FPRate, profile.FNRate)
+	return nil
+}
+
+// writeCandidates writes the candidate pair list and its ground truth.
+func writeCandidates(dir string, c *pipeline.CandidateSpace) error {
+	rows := [][]string{{"item", "recordA", "recordB", "dup"}}
+	for i, p := range c.Pairs {
+		rows = append(rows, []string{
+			strconv.Itoa(i), strconv.Itoa(p.A), strconv.Itoa(p.B),
+			strconv.FormatBool(c.Truth.IsDirty(i)),
+		})
+	}
+	return writeCSVFile(filepath.Join(dir, "candidates.csv"), rows)
+}
+
+func writeTruth(dir string, truth *dataset.GroundTruth) error {
+	rows := [][]string{{"item", "dirty"}}
+	for i := 0; i < truth.N(); i++ {
+		rows = append(rows, []string{strconv.Itoa(i), strconv.FormatBool(truth.IsDirty(i))})
+	}
+	return writeCSVFile(filepath.Join(dir, "truth.csv"), rows)
+}
+
+func writeCSVFile(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				if _, err := io.WriteString(f, ","); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(f, csvEscape(cell)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(f, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	needsQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ',', '"', '\n', '\r':
+			needsQuote = true
+		}
+	}
+	if !needsQuote {
+		return s
+	}
+	out := make([]byte, 0, len(s)+2)
+	out = append(out, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			out = append(out, '"')
+		}
+		out = append(out, s[i])
+	}
+	return string(append(out, '"'))
+}
+
+var _ = entity.Pair{} // candidate pairs surface entity ids in candidates.csv

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenAddressWithVotes(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := run([]string{"-dataset", "address", "-out", dir, "-tasks", "20", "-seed", "3"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"records.csv", "truth.csv", "votes.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing output %s: %v", f, err)
+		}
+	}
+	records, err := os.ReadFile(filepath.Join(dir, "records.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(records)), "\n")
+	if len(lines) != 1001 { // header + 1000 records
+		t.Fatalf("records.csv has %d lines", len(lines))
+	}
+	if !strings.Contains(sb.String(), "90 malformed") {
+		t.Fatalf("summary missing:\n%s", sb.String())
+	}
+}
+
+func TestGenSynthetic(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := run([]string{"-dataset", "synthetic", "-out", dir, "-n", "50", "-dirty", "5",
+		"-tasks", "10", "-fp", "0.02", "-fn", "0.2"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes, err := os.ReadFile(filepath.Join(dir, "votes.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(votes), "task,item,worker,label\n") {
+		t.Fatalf("votes.csv header wrong:\n%.80s", votes)
+	}
+	if !strings.Contains(sb.String(), "fp=0.020 fn=0.200") {
+		t.Fatalf("rate overrides not applied:\n%s", sb.String())
+	}
+}
+
+func TestGenRestaurantCandidates(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-dataset", "restaurant", "-out", dir, "-seed", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	cands, err := os.ReadFile(filepath.Join(dir, "candidates.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(cands), "item,recordA,recordB,dup\n") {
+		t.Fatalf("candidates header wrong:\n%.80s", cands)
+	}
+	if !strings.Contains(sb.String(), "858 records, 106 duplicate pairs") {
+		t.Fatalf("summary missing:\n%s", sb.String())
+	}
+}
+
+func TestGenUnknownDataset(t *testing.T) {
+	if err := run([]string{"-dataset", "bogus", "-out", t.TempDir()}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		"has,comma":  `"has,comma"`,
+		`has"quote`:  `"has""quote"`,
+		"has\nbreak": "\"has\nbreak\"",
+	}
+	for in, want := range cases {
+		if got := csvEscape(in); got != want {
+			t.Fatalf("csvEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGenProductCandidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full product pipeline in -short mode")
+	}
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-dataset", "product", "-out", dir, "-seed", "5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "candidates.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2336+1363 records, 607 matches") {
+		t.Fatalf("summary missing:\n%s", sb.String())
+	}
+}

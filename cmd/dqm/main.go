@@ -1,0 +1,142 @@
+// Command dqm estimates the number of undetected errors in a dataset from a
+// worker-vote log (as produced by cmd/dqm-gen, or exported from a real crowd
+// deployment).
+//
+// Usage:
+//
+//	dqm -input votes.csv [-format csv|jsonl] [-n N] [-every K] [-cap]
+//
+// The log must be grouped by task id. With -every K an estimate row is
+// printed every K tasks, showing how the metric converges as cleaning effort
+// grows; otherwise only the final estimates are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dqm"
+	"dqm/internal/votelog"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dqm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dqm", flag.ContinueOnError)
+	var (
+		input  = fs.String("input", "", "vote log path (default: stdin)")
+		format = fs.String("format", "", "log format: csv or jsonl (default: by extension, csv for stdin)")
+		nItems = fs.Int("n", 0, "population size N (default: max item id + 1)")
+		every  = fs.Int("every", 0, "print estimates every K tasks (0 = final only)")
+		capN   = fs.Bool("cap", false, "clamp estimates to the population size")
+		ci     = fs.Float64("ci", 0, "also print a bootstrap confidence interval at this level (e.g. 0.95)")
+		ciReps = fs.Int("ci-reps", 200, "bootstrap replicates for -ci")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	entries, err := loadEntries(*input, *format)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("empty vote log")
+	}
+	n := *nItems
+	if n == 0 {
+		n = votelog.MaxItem(entries) + 1
+	}
+	if maxI := votelog.MaxItem(entries); maxI >= n {
+		return fmt.Errorf("item id %d exceeds population size %d", maxI, n)
+	}
+
+	cfg := dqm.Defaults()
+	cfg.CapToPopulation = *capN
+	cfg.TrackConfidence = *ci > 0
+	rec := dqm.NewRecorder(n, cfg)
+
+	header := fmt.Sprintf("%8s %8s %10s %10s %10s %10s %10s %10s",
+		"tasks", "votes", "NOMINAL", "VOTING", "CHAO92", "V-CHAO", "SWITCH", "REMAINING")
+	fmt.Fprintln(out, header)
+	printRow := func(tasks int) {
+		e := rec.Estimates()
+		fmt.Fprintf(out, "%8d %8d %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+			tasks, rec.TotalVotes(), e.Nominal, e.Voting, e.Chao92, e.VChao92,
+			e.Switch.Total, e.Remaining())
+	}
+
+	tasks := 0
+	votelog.Replay(entries,
+		func(e votelog.Entry) { rec.Record(e.Item, e.Worker, e.Dirty) },
+		func() {
+			tasks++
+			rec.EndTask()
+			if *every > 0 && tasks%*every == 0 {
+				printRow(tasks)
+			}
+		})
+	if *every == 0 || tasks%*every != 0 {
+		printRow(tasks)
+	}
+
+	e := rec.Estimates()
+	fmt.Fprintf(out, "\npopulation %d items, %d workers, %d tasks\n", n, rec.NumWorkers(), tasks)
+	fmt.Fprintf(out, "SWITCH: total=%.1f remaining=%.1f xi+=%.1f xi-=%.1f trend=%s\n",
+		e.Switch.Total, e.Remaining(), e.Switch.XiPos, e.Switch.XiNeg, trendName(e))
+	if *ci > 0 {
+		interval, err := rec.SwitchCI(*ciReps, *ci)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "SWITCH %.0f%% bootstrap CI: [%.1f, %.1f] (%d replicates)\n",
+			*ci*100, interval.Lo, interval.Hi, *ciReps)
+	}
+	return nil
+}
+
+func trendName(e dqm.Estimates) string {
+	switch {
+	case e.Switch.TrendUp:
+		return "up"
+	case e.Switch.TrendDown:
+		return "down"
+	default:
+		return "flat"
+	}
+}
+
+func loadEntries(path, format string) ([]votelog.Entry, error) {
+	var r io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	if format == "" {
+		if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".ndjson") {
+			format = "jsonl"
+		} else {
+			format = "csv"
+		}
+	}
+	switch format {
+	case "csv":
+		return votelog.ReadCSV(r)
+	case "jsonl":
+		return votelog.ReadJSONL(r)
+	default:
+		return nil, fmt.Errorf("unknown format %q (want csv or jsonl)", format)
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeLog(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sampleLog = `task,item,worker,label
+0,0,1,dirty
+0,1,1,clean
+0,2,1,dirty
+1,0,2,dirty
+1,1,2,clean
+1,3,2,clean
+2,2,3,clean
+2,3,3,dirty
+`
+
+func TestRunBasic(t *testing.T) {
+	path := writeLog(t, "votes.csv", sampleLog)
+	var sb strings.Builder
+	if err := run([]string{"-input", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"NOMINAL", "SWITCH", "population 4 items", "3 workers, 3 tasks", "trend="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunEvery(t *testing.T) {
+	path := writeLog(t, "votes.csv", sampleLog)
+	var sb strings.Builder
+	if err := run([]string{"-input", path, "-every", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// Header + three per-task rows at minimum.
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("expected per-task rows:\n%s", sb.String())
+	}
+}
+
+func TestRunWithCI(t *testing.T) {
+	path := writeLog(t, "votes.csv", sampleLog)
+	var sb strings.Builder
+	if err := run([]string{"-input", path, "-ci", "0.9", "-ci-reps", "50"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "bootstrap CI") {
+		t.Fatalf("missing CI output:\n%s", sb.String())
+	}
+}
+
+func TestRunJSONL(t *testing.T) {
+	path := writeLog(t, "votes.jsonl",
+		`{"task":0,"item":0,"worker":1,"dirty":true}
+{"task":1,"item":1,"worker":2,"dirty":false}
+`)
+	var sb strings.Builder
+	if err := run([]string{"-input", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "population 2 items") {
+		t.Fatalf("jsonl parse failed:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	empty := writeLog(t, "empty.csv", "task,item,worker,label\n")
+	if err := run([]string{"-input", empty}, &strings.Builder{}); err == nil {
+		t.Fatal("empty log accepted")
+	}
+	path := writeLog(t, "votes.csv", sampleLog)
+	if err := run([]string{"-input", path, "-n", "2"}, &strings.Builder{}); err == nil {
+		t.Fatal("undersized population accepted")
+	}
+	if err := run([]string{"-input", filepath.Join(t.TempDir(), "nope.csv")}, &strings.Builder{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"-input", path, "-format", "bogus"}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -1,0 +1,245 @@
+// Package dqm implements the Data Quality Metric of Chung, Krishnan and
+// Kraska: "A Data Quality Metric (DQM): How to Estimate the Number of
+// Undetected Errors in Data Sets" (PVLDB 10(10), 2017).
+//
+// The library estimates how many errors remain undetected in a dataset after
+// fallible (crowd or algorithmic) cleaning passes, without ground truth or a
+// complete rule set. Feed worker votes (item, worker, dirty/clean) in task
+// order into a Recorder and read estimates at any point:
+//
+//	rec := dqm.NewRecorder(nItems, dqm.Defaults())
+//	for _, task := range tasks {
+//	    for _, v := range task {
+//	        rec.Record(v.Item, v.Worker, v.Dirty)
+//	    }
+//	    rec.EndTask()
+//	}
+//	est := rec.Estimates()
+//	fmt.Println(est.Switch.Total, est.Switch.Total-est.Voting) // total, remaining
+//
+// Estimators implemented (paper section in parentheses):
+//
+//   - Nominal (§2.2.1) and Voting (§2.2.2) — descriptive baselines;
+//   - Extrapolate (§2.2.3) — predictive baseline from a clean sample;
+//   - Chao92 (§3.2) — species estimation over positive votes;
+//   - VChao92 (§3.3) — shifted fingerprint, robust to false positives;
+//   - Switch (§4) — the paper's contribution: estimate remaining consensus
+//     switches and correct the majority vote with the trend-selected side.
+//
+// The internal packages supply the full reproduction substrate (datasets,
+// crowd simulation, prioritization, experiment harness); see DESIGN.md.
+package dqm
+
+import (
+	"dqm/internal/estimator"
+	"dqm/internal/switchstat"
+	"dqm/internal/votes"
+	"dqm/internal/xrand"
+)
+
+// Vote is one worker judgment: worker Worker looked at item Item and marked
+// it dirty (erroneous) or clean.
+type Vote struct {
+	Item   int
+	Worker int
+	Dirty  bool
+}
+
+// TiePolicy selects how consensus switches are counted (§4.1 notes the
+// definition admits different tie policies).
+type TiePolicy int
+
+const (
+	// TieFlip is Equation 7 verbatim: every running-vote tie flips the
+	// consensus (the paper's definition; the default).
+	TieFlip TiePolicy = iota
+	// StrictMajority flips only when the strict vote majority crosses the
+	// current consensus; ties are sticky.
+	StrictMajority
+)
+
+// Config tunes the estimator suite. The zero value is NOT valid; start from
+// Defaults.
+type Config struct {
+	// VChaoShift is the fingerprint shift s of vChao92 (§3.3); the paper
+	// uses 1.
+	VChaoShift int
+	// TiePolicy selects the switch-counting rule.
+	TiePolicy TiePolicy
+	// TrendWindow fixes the task window of the §4.3 trend detector;
+	// 0 selects the adaptive default.
+	TrendWindow int
+	// CapToPopulation clamps estimates into [0, N]; enable it when the item
+	// space is a closed candidate set.
+	CapToPopulation bool
+	// TrackConfidence retains per-item switch ledgers so that
+	// Recorder.SwitchCI can compute bootstrap confidence intervals. Costs
+	// O(observed switches) extra memory.
+	TrackConfidence bool
+}
+
+// Defaults returns the paper-faithful configuration.
+func Defaults() Config {
+	return Config{VChaoShift: 1, TiePolicy: TieFlip}
+}
+
+// SwitchEstimate mirrors the full SWITCH output (§4): the corrected total,
+// the remaining positive/negative switch estimates ξ⁺/ξ⁻ and the detected
+// majority trend.
+type SwitchEstimate struct {
+	// Total is the trend-corrected total error estimate of §4.3.
+	Total float64
+	// XiPos and XiNeg estimate the remaining positive (clean→dirty) and
+	// negative (dirty→clean) consensus switches.
+	XiPos, XiNeg float64
+	// RemainingSwitches is the Problem-2 answer: expected consensus flips
+	// (either sign) still to come.
+	RemainingSwitches float64
+	// TrendUp/TrendDown report the detected majority trend (both false =
+	// flat).
+	TrendUp, TrendDown bool
+}
+
+// Estimates is a snapshot of every estimator at one point of the vote
+// stream.
+type Estimates struct {
+	// Nominal is c_nominal: items marked dirty by at least one worker.
+	Nominal float64
+	// Voting is c_majority: items with a dirty strict majority.
+	Voting float64
+	// Chao92 is the species estimate of the total distinct errors.
+	Chao92 float64
+	// VChao92 is the shifted, false-positive-robust variant.
+	VChao92 float64
+	// Switch is the paper's SWITCH estimate.
+	Switch SwitchEstimate
+}
+
+// Remaining returns the estimated number of still-undetected errors
+// according to the SWITCH estimator: its total minus the current majority
+// count, floored at zero.
+func (e Estimates) Remaining() float64 {
+	r := e.Switch.Total - e.Voting
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Recorder ingests a vote stream and evaluates the estimator suite. It is
+// not safe for concurrent use; wrap it with a mutex if tasks arrive from
+// multiple goroutines.
+type Recorder struct {
+	suite  *estimator.Suite
+	ciSeed uint64
+}
+
+// NewRecorder creates a recorder over a population of n items (records, or
+// candidate pairs for entity resolution).
+func NewRecorder(n int, cfg Config) *Recorder {
+	policy := switchstat.PolicyTieFlip
+	if cfg.TiePolicy == StrictMajority {
+		policy = switchstat.PolicyStrictMajority
+	}
+	return &Recorder{
+		suite: estimator.NewSuite(n, estimator.SuiteConfig{
+			VChao92: estimator.VChao92Config{Shift: cfg.VChaoShift},
+			Switch: estimator.SwitchConfig{
+				Policy:          policy,
+				TrendWindow:     cfg.TrendWindow,
+				CapToPopulation: cfg.CapToPopulation,
+				RetainLedgers:   cfg.TrackConfidence,
+			},
+			CapToPopulation: cfg.CapToPopulation,
+		}),
+		ciSeed: 0x5eed,
+	}
+}
+
+// Record ingests one vote.
+func (r *Recorder) Record(item, worker int, dirty bool) {
+	label := votes.Clean
+	if dirty {
+		label = votes.Dirty
+	}
+	r.suite.Observe(votes.Vote{Item: item, Worker: worker, Label: label})
+}
+
+// RecordVote ingests one Vote.
+func (r *Recorder) RecordVote(v Vote) { r.Record(v.Item, v.Worker, v.Dirty) }
+
+// EndTask marks a task boundary. The SWITCH trend detector operates on the
+// per-task majority series, so call this whenever one worker's task
+// completes.
+func (r *Recorder) EndTask() { r.suite.EndTask() }
+
+// Estimates evaluates all estimators at the current position.
+func (r *Recorder) Estimates() Estimates {
+	e := r.suite.EstimateAll()
+	return Estimates{
+		Nominal: e.Nominal,
+		Voting:  e.Voting,
+		Chao92:  e.Chao92,
+		VChao92: e.VChao92,
+		Switch: SwitchEstimate{
+			Total:             e.Switch.Total,
+			XiPos:             e.Switch.XiPos,
+			XiNeg:             e.Switch.XiNeg,
+			RemainingSwitches: e.Switch.RemainingSwitches,
+			TrendUp:           e.Switch.Trend == estimator.TrendUp,
+			TrendDown:         e.Switch.Trend == estimator.TrendDown,
+		},
+	}
+}
+
+// MajorityDirty reports the current majority consensus for an item.
+func (r *Recorder) MajorityDirty(item int) bool { return r.suite.Matrix.MajorityDirty(item) }
+
+// NumItems returns the population size N.
+func (r *Recorder) NumItems() int { return r.suite.Matrix.NumItems() }
+
+// NumWorkers returns the number of distinct workers seen.
+func (r *Recorder) NumWorkers() int { return r.suite.Matrix.NumWorkers() }
+
+// TotalVotes returns the number of votes ingested.
+func (r *Recorder) TotalVotes() int64 { return r.suite.Matrix.TotalVotes() }
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() { r.suite.Reset() }
+
+// Extrapolate is the §2.2.3 predictive baseline: scale the errsFound
+// discovered in a perfectly cleaned sample of sampleSize up to the
+// population.
+func Extrapolate(errsFound, sampleSize, population int) float64 {
+	return estimator.Extrapolate(errsFound, sampleSize, population)
+}
+
+// ConfidenceInterval is a two-sided bootstrap percentile interval.
+type ConfidenceInterval struct {
+	Lo, Hi float64
+	Level  float64
+}
+
+// Contains reports whether v lies within the interval.
+func (c ConfidenceInterval) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// SwitchCI returns a bootstrap confidence interval for the SWITCH total
+// estimate by resampling items (replicates resamples, e.g. 200; level e.g.
+// 0.95). The recorder must have been built with Config.TrackConfidence.
+func (r *Recorder) SwitchCI(replicates int, level float64) (ConfidenceInterval, error) {
+	ci, err := r.suite.Switch.BootstrapSwitch(replicates, level, xrand.New(r.ciSeed))
+	if err != nil {
+		return ConfidenceInterval{}, err
+	}
+	return ConfidenceInterval{Lo: ci.Lo, Hi: ci.Hi, Level: ci.Level}, nil
+}
+
+// Chao92CI returns a bootstrap confidence interval for the Chao92 total
+// estimate.
+func (r *Recorder) Chao92CI(replicates int, level float64) (ConfidenceInterval, error) {
+	ci, err := estimator.BootstrapChao92(r.suite.Matrix, replicates, level, xrand.New(r.ciSeed))
+	if err != nil {
+		return ConfidenceInterval{}, err
+	}
+	return ConfidenceInterval{Lo: ci.Lo, Hi: ci.Hi, Level: ci.Level}, nil
+}

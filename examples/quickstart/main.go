@@ -1,0 +1,66 @@
+// Quickstart: estimate the number of undetected errors in a small dataset
+// cleaned by a simulated fallible crowd.
+//
+// A population of 500 items contains 50 true errors. Workers review random
+// tasks of 10 items, missing 15% of true errors and wrongly flagging 2% of
+// clean items. The SWITCH estimator predicts the eventual total error count
+// long before every item has been reviewed enough times.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dqm"
+)
+
+const (
+	nItems     = 500
+	nDirty     = 50
+	nTasks     = 300
+	perTask    = 10
+	fnRate     = 0.15 // chance a worker misses a true error
+	fpRate     = 0.02 // chance a worker flags a clean item
+	reportStep = 50
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(7, 7))
+
+	// Plant ground truth (unknown to the estimator).
+	dirty := make(map[int]bool, nDirty)
+	for len(dirty) < nDirty {
+		dirty[rng.IntN(nItems)] = true
+	}
+
+	rec := dqm.NewRecorder(nItems, dqm.Defaults())
+
+	fmt.Printf("%8s %10s %10s %10s %12s\n", "tasks", "VOTING", "CHAO92", "SWITCH", "remaining")
+	for t := 1; t <= nTasks; t++ {
+		worker := rng.IntN(40)
+		for _, item := range rng.Perm(nItems)[:perTask] {
+			vote := dirty[item]
+			if vote && rng.Float64() < fnRate {
+				vote = false // false negative
+			} else if !dirty[item] && rng.Float64() < fpRate {
+				vote = true // false positive
+			}
+			rec.Record(item, worker, vote)
+		}
+		rec.EndTask()
+
+		if t%reportStep == 0 {
+			e := rec.Estimates()
+			fmt.Printf("%8d %10.1f %10.1f %10.1f %12.1f\n",
+				t, e.Voting, e.Chao92, e.Switch.Total, e.Remaining())
+		}
+	}
+
+	e := rec.Estimates()
+	fmt.Printf("\ntrue errors: %d\n", nDirty)
+	fmt.Printf("SWITCH estimate of total errors: %.1f (%.1f still undetected beyond the current majority)\n",
+		e.Switch.Total, e.Remaining())
+	fmt.Printf("majority vote alone would report: %.0f\n", e.Voting)
+}

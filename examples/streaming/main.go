@@ -1,0 +1,81 @@
+// Streaming example: use the data-quality metric as a stopping rule for a
+// cleaning campaign. Tasks arrive one at a time (as they would from a live
+// crowd deployment); after every task the SWITCH estimator reports the
+// expected number of remaining consensus switches, and the campaign stops
+// once the estimated remaining error mass drops below a budgeted threshold —
+// the "utility of hiring additional workers" question from the paper's
+// abstract, answered online.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+
+	"dqm"
+	"dqm/internal/crowd"
+	"dqm/internal/dataset"
+)
+
+func main() {
+	const (
+		seed      = 21
+		nItems    = 2000
+		nDirty    = 150
+		threshold = 3.0 // stop when fewer than this many switches remain
+		minTasks  = 120 // never stop before a minimal coverage
+		maxTasks  = 3000
+	)
+
+	pop := dataset.NewPlantedPopulation(nItems, nDirty, seed, "streaming")
+	sim := crowd.NewSimulator(crowd.Config{
+		Truth:        pop.Truth.IsDirty,
+		N:            nItems,
+		Profile:      crowd.Profile{FPRate: 0.01, FNRate: 0.12, Jitter: 0.2},
+		ItemsPerTask: 15,
+		Seed:         seed,
+	})
+
+	rec := dqm.NewRecorder(nItems, dqm.Defaults())
+
+	fmt.Printf("cleaning until estimated remaining switches < %.0f (after ≥%d tasks)\n\n", threshold, minTasks)
+	fmt.Printf("%8s %10s %12s %18s\n", "tasks", "VOTING", "SWITCH", "remaining switches")
+
+	stopped := 0
+	for t := 1; t <= maxTasks; t++ {
+		task := sim.NextTask()
+		for i, item := range task.Items {
+			rec.Record(item, task.Worker, task.Labels[i] == 1)
+		}
+		rec.EndTask()
+
+		e := rec.Estimates()
+		if t%100 == 0 {
+			fmt.Printf("%8d %10.0f %12.1f %18.2f\n", t, e.Voting, e.Switch.Total, e.Switch.RemainingSwitches)
+		}
+		if t >= minTasks && e.Switch.RemainingSwitches < threshold {
+			stopped = t
+			break
+		}
+	}
+
+	e := rec.Estimates()
+	if stopped > 0 {
+		fmt.Printf("\nstopped after %d tasks: estimated remaining switches %.2f < %.0f\n",
+			stopped, e.Switch.RemainingSwitches, threshold)
+	} else {
+		fmt.Printf("\nbudget of %d tasks exhausted\n", maxTasks)
+	}
+
+	// Score the decision against the ground truth the estimator never saw.
+	wrong := 0
+	for i := 0; i < nItems; i++ {
+		if rec.MajorityDirty(i) != pop.Truth.IsDirty(i) {
+			wrong++
+		}
+	}
+	fmt.Printf("consensus decisions still wrong at stop: %d of %d items (%.2f%%)\n",
+		wrong, nItems, 100*float64(wrong)/float64(nItems))
+	fmt.Printf("true errors %d, majority found %.0f, SWITCH estimated %.1f\n",
+		pop.NumDirty(), e.Voting, e.Switch.Total)
+}

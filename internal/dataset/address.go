@@ -1,0 +1,218 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"dqm/internal/xrand"
+)
+
+// AddressErrorKind enumerates the malformation taxonomy of Figure 1.
+type AddressErrorKind uint8
+
+const (
+	// AddressOK marks a well-formed record.
+	AddressOK AddressErrorKind = iota
+	// AddressMissingValue drops a required field (r1, r2 in Figure 1).
+	AddressMissingValue
+	// AddressInvalidCity misspells the city or state name (r3, r4).
+	AddressInvalidCity
+	// AddressInvalidZip corrupts the zip code (r3, r4).
+	AddressInvalidZip
+	// AddressFDViolation breaks the functional dependency
+	// zip → (city, state) (r1, r3, r6).
+	AddressFDViolation
+	// AddressNonHome is a valid-looking business address, not a home (r5).
+	AddressNonHome
+	// AddressFakeValid is a fabricated address in a perfectly valid format
+	// (r6) — only the most observant workers catch these.
+	AddressFakeValid
+)
+
+// String implements fmt.Stringer.
+func (k AddressErrorKind) String() string {
+	switch k {
+	case AddressOK:
+		return "ok"
+	case AddressMissingValue:
+		return "missing-value"
+	case AddressInvalidCity:
+		return "invalid-city"
+	case AddressInvalidZip:
+		return "invalid-zip"
+	case AddressFDViolation:
+		return "fd-violation"
+	case AddressNonHome:
+		return "non-home"
+	case AddressFakeValid:
+		return "fake-valid"
+	default:
+		return fmt.Sprintf("AddressErrorKind(%d)", uint8(k))
+	}
+}
+
+// addressErrorKinds are the injectable classes, cycled through so every
+// class is represented in the planted errors.
+var addressErrorKinds = []AddressErrorKind{
+	AddressMissingValue, AddressInvalidCity, AddressInvalidZip,
+	AddressFDViolation, AddressNonHome, AddressFakeValid,
+}
+
+// Difficulty returns how hard the error class is for a worker to spot, as a
+// multiplier on the false-negative rate (1 = baseline). Fake-but-valid
+// addresses are the paper's "long tail": nearly invisible.
+func (k AddressErrorKind) Difficulty() float64 {
+	switch k {
+	case AddressMissingValue:
+		return 0.3 // obvious
+	case AddressInvalidZip:
+		return 0.7
+	case AddressInvalidCity:
+		return 0.8
+	case AddressFDViolation:
+		return 1.2
+	case AddressNonHome:
+		return 1.6
+	case AddressFakeValid:
+		return 2.5
+	default:
+		return 1
+	}
+}
+
+// Address is one registered home address in the format
+// <number street unit, city, state, zip>; Unit is optional.
+type Address struct {
+	Number int
+	Street string
+	Unit   string
+	City   string
+	State  string
+	Zip    string
+	// Kind records the planted malformation (AddressOK for clean rows).
+	Kind AddressErrorKind
+}
+
+// String renders the record in the dataset's canonical format.
+func (a Address) String() string {
+	num := ""
+	if a.Number > 0 {
+		num = fmt.Sprintf("%d ", a.Number)
+	}
+	unit := ""
+	if a.Unit != "" {
+		unit = " " + a.Unit
+	}
+	return fmt.Sprintf("%s%s%s, %s, %s, %s", num, a.Street, unit, a.City, a.State, a.Zip)
+}
+
+// AddressConfig sizes the dataset; defaults follow the paper (1000 records,
+// 90 malformed).
+type AddressConfig struct {
+	Records int
+	Errors  int
+	Seed    uint64
+}
+
+func (c *AddressConfig) setDefaults() {
+	if c.Records == 0 {
+		c.Records = 1000
+	}
+	if c.Errors == 0 {
+		c.Errors = 90
+	}
+	if c.Errors > c.Records {
+		panic(fmt.Sprintf("dataset: %d errors exceed %d records", c.Errors, c.Records))
+	}
+}
+
+// AddressData is the generated dataset plus ground truth over record
+// indices.
+type AddressData struct {
+	Records []Address
+	Truth   *GroundTruth
+}
+
+// GenerateAddresses synthesizes the Portland address dataset with planted
+// malformations cycling through the Figure 1 taxonomy.
+func GenerateAddresses(cfg AddressConfig) *AddressData {
+	cfg.setDefaults()
+	r := xrand.New(cfg.Seed).SplitNamed("address")
+	portland := usCities[0]
+
+	clean := func() Address {
+		a := Address{
+			Number: 100 + r.IntN(19900),
+			Street: fmt.Sprintf("%s %s %s", xrand.Choice(r, directions), xrand.Choice(r, streetNames), xrand.Choice(r, streetTypes)),
+			City:   portland.city,
+			State:  portland.state,
+			Zip:    xrand.Choice(r, portland.zips),
+		}
+		if r.Bernoulli(0.25) {
+			a.Unit = fmt.Sprintf("Apt %d", 1+r.IntN(40))
+		}
+		return a
+	}
+
+	records := make([]Address, cfg.Records)
+	for i := range records {
+		records[i] = clean()
+	}
+
+	dirtyIdx := xrand.New(cfg.Seed).SplitNamed("address-dirty").SampleWithoutReplacement(cfg.Records, cfg.Errors)
+	for k, idx := range dirtyIdx {
+		kind := addressErrorKinds[k%len(addressErrorKinds)]
+		records[idx] = injectAddressError(r, records[idx], kind, portland)
+	}
+
+	return &AddressData{
+		Records: records,
+		Truth:   NewGroundTruth(cfg.Records, dirtyIdx),
+	}
+}
+
+func injectAddressError(r *xrand.RNG, a Address, kind AddressErrorKind, home cityInfo) Address {
+	a.Kind = kind
+	switch kind {
+	case AddressMissingValue:
+		switch r.IntN(3) {
+		case 0:
+			a.Zip = ""
+		case 1:
+			a.City = ""
+		default:
+			a.Number = 0
+		}
+	case AddressInvalidCity:
+		if r.Bernoulli(0.5) {
+			a.City = typo(r, a.City)
+		} else {
+			a.State = typo(r, a.State)
+		}
+	case AddressInvalidZip:
+		z := []byte(a.Zip)
+		switch r.IntN(3) {
+		case 0: // too short
+			a.Zip = string(z[:4])
+		case 1: // non-digit
+			z[r.IntN(len(z))] = 'O'
+			a.Zip = string(z)
+		default: // out-of-range prefix
+			a.Zip = "00" + string(z[2:])
+		}
+	case AddressFDViolation:
+		// Keep the Portland zip but claim a different city/state.
+		other := usCities[1+r.IntN(len(usCities)-1)]
+		a.City = other.city
+		a.State = other.state
+	case AddressNonHome:
+		a.Street = fmt.Sprintf("%s %s", xrand.Choice(r, streetNames), xrand.Choice(r, businessSuffixes))
+		a.Unit = fmt.Sprintf("Suite %d", 100+r.IntN(900))
+	case AddressFakeValid:
+		// A street that does not exist in the corpus, rendered perfectly.
+		a.Street = fmt.Sprintf("%s %s %s", xrand.Choice(r, directions),
+			strings.Title(typo(r, strings.ToLower(xrand.Choice(r, streetNames)))+"shire"), //nolint:staticcheck // ASCII-only corpus
+			xrand.Choice(r, streetTypes))
+	}
+	return a
+}

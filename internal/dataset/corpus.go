@@ -1,0 +1,107 @@
+package dataset
+
+// Corpora for the synthetic generators. The goal is not linguistic realism
+// for its own sake: duplicate detection difficulty (and therefore worker
+// confusion) depends on surface variety, shared tokens across distinct
+// entities, and plausible perturbations, all of which these lists provide.
+
+var restaurantFirstWords = []string{
+	"Ritz-Carlton", "Golden", "Blue", "Silver", "Jade", "Royal", "Rustic",
+	"Urban", "Little", "Grand", "Old Town", "Harbor", "Sunset", "Lucky",
+	"Red Lantern", "Green Olive", "Copper", "Velvet", "Twin", "Iron",
+	"Magnolia", "Cedar", "Willow", "Stone Bridge", "River", "Lakeside",
+	"Union", "Market Street", "Fifth Avenue", "Broadway", "Pearl", "Ivory",
+	"Crimson", "Amber", "Saffron", "Basil", "Rosemary", "Juniper", "Clove",
+	"Ginger", "Sesame", "Olive Branch", "Honey", "Maple", "Birch",
+}
+
+var restaurantSecondWords = []string{
+	"Cafe", "Bistro", "Grill", "Kitchen", "Diner", "Tavern", "Brasserie",
+	"Trattoria", "Cantina", "Chophouse", "Steakhouse", "Noodle House",
+	"Tea Room", "Oyster Bar", "Pizzeria", "Bakery", "Deli", "Eatery",
+	"Smokehouse", "Taqueria", "Ramen Bar", "Curry House", "Supper Club",
+	"Gastropub", "Creperie", "Rotisserie", "Fish Market", "Garden",
+}
+
+var restaurantCategories = []string{
+	"american", "italian", "french", "chinese", "japanese", "mexican",
+	"thai", "indian", "mediterranean", "seafood", "steakhouse", "bbq",
+	"vegetarian", "cajun", "korean", "vietnamese", "greek", "spanish",
+	"fusion", "bakery", "coffee",
+}
+
+// city fixes the functional dependency zip → (city, state) used by the
+// address generator; violating it is one of Figure 1's error classes.
+type cityInfo struct {
+	city  string
+	state string
+	zips  []string
+}
+
+var usCities = []cityInfo{
+	{"Portland", "OR", []string{"97201", "97202", "97203", "97204", "97205", "97206", "97209", "97210", "97211", "97212", "97214", "97215", "97217", "97219", "97221", "97227", "97232", "97239"}},
+	{"Seattle", "WA", []string{"98101", "98102", "98103", "98104", "98105"}},
+	{"San Francisco", "CA", []string{"94102", "94103", "94107", "94109", "94110"}},
+	{"New York", "NY", []string{"10001", "10002", "10003", "10011", "10014"}},
+	{"Atlanta", "GA", []string{"30301", "30305", "30308", "30309", "30318"}},
+	{"Chicago", "IL", []string{"60601", "60605", "60607", "60611", "60614"}},
+	{"Boston", "MA", []string{"02108", "02110", "02114", "02115", "02116"}},
+	{"Austin", "TX", []string{"78701", "78702", "78703", "78704", "78705"}},
+	{"Denver", "CO", []string{"80202", "80203", "80205", "80206", "80209"}},
+	{"Nashville", "TN", []string{"37201", "37203", "37206", "37208", "37212"}},
+}
+
+var streetNames = []string{
+	"Alder", "Ankeny", "Burnside", "Couch", "Davis", "Everett", "Flanders",
+	"Glisan", "Hawthorne", "Irving", "Johnson", "Kearney", "Lovejoy",
+	"Marshall", "Northrup", "Overton", "Pettygrove", "Quimby", "Raleigh",
+	"Savier", "Thurman", "Upshur", "Vaughn", "Belmont", "Division",
+	"Clinton", "Woodstock", "Fremont", "Killingsworth", "Alberta",
+	"Mississippi", "Williams", "Interstate", "Greeley", "Denver",
+	"Sandy", "Stark", "Oak", "Pine", "Ash", "Main", "Madison", "Salmon",
+	"Taylor", "Yamhill", "Morrison", "Washington", "Jefferson", "Columbia",
+}
+
+var streetTypes = []string{"St", "Ave", "Blvd", "Dr", "Ln", "Rd", "Way", "Ct", "Pl", "Ter"}
+
+var streetTypeLong = map[string]string{
+	"St": "Street", "Ave": "Avenue", "Blvd": "Boulevard", "Dr": "Drive",
+	"Ln": "Lane", "Rd": "Road", "Way": "Way", "Ct": "Court", "Pl": "Place",
+	"Ter": "Terrace",
+}
+
+var directions = []string{"N", "S", "E", "W", "NE", "NW", "SE", "SW"}
+
+// Non-home addresses: Figure 1's r5 class ("not a home address").
+var businessSuffixes = []string{
+	"Warehouse", "Distribution Center", "Office Park", "Mall", "Plaza",
+	"Storage Facility", "Industrial Park", "Shopping Center",
+}
+
+var productBrands = []string{
+	"Adobe", "Microsoft", "Apple", "Symantec", "Intuit", "Corel", "Nuance",
+	"McAfee", "Autodesk", "Sony", "Logitech", "Belkin", "Kingston",
+	"Netgear", "Linksys", "Canon", "Epson", "HP", "Brother", "Lexmark",
+	"Roxio", "Kaspersky", "Panda", "Trend Micro", "Broderbund", "Encore",
+	"Topics Entertainment", "Global Marketing", "Individual Software",
+}
+
+var productNouns = []string{
+	"Photoshop", "Office Suite", "Antivirus", "Firewall", "Tax Prep",
+	"Video Editor", "Photo Album", "Language Course", "Typing Tutor",
+	"Encyclopedia", "Atlas", "Drawing Studio", "Music Maker", "DVD Burner",
+	"Backup Utility", "System Optimizer", "Web Designer", "Database",
+	"Spreadsheet", "Presentation Maker", "PDF Converter", "Font Pack",
+	"Clip Art Library", "Screen Saver", "Games Collection", "Flight Simulator",
+	"Chess Master", "Crossword Studio", "Genealogy Builder", "Recipe Organizer",
+}
+
+var productEditions = []string{
+	"Standard", "Professional", "Deluxe", "Premium", "Home", "Academic",
+	"Small Business", "Ultimate", "Platinum", "Gold", "Upgrade", "OEM",
+}
+
+var productVersionSuffixes = []string{
+	"2006", "2007", "2008", "v2", "v3", "v4", "5.0", "6.0", "7.0", "8.0",
+	"XL", "XP Edition", "Mac", "Win/Mac",
+}

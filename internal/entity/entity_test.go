@@ -1,0 +1,256 @@
+package entity
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPairCanonical(t *testing.T) {
+	if p := NewPair(3, 1); p.A != 1 || p.B != 3 {
+		t.Fatalf("NewPair(3,1) = %v", p)
+	}
+	if p := NewPair(1, 3); p.A != 1 || p.B != 3 {
+		t.Fatalf("NewPair(1,3) = %v", p)
+	}
+}
+
+func TestNewPairPanicsOnSelf(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self pair did not panic")
+		}
+	}()
+	NewPair(2, 2)
+}
+
+func TestNumPairs(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 3}, {858, 858 * 857 / 2},
+	}
+	for _, tt := range tests {
+		if got := NumPairs(tt.n); got != tt.want {
+			t.Fatalf("NumPairs(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	var got []Pair
+	AllPairs(4, func(p Pair) bool {
+		got = append(got, p)
+		return true
+	})
+	if len(got) != 6 {
+		t.Fatalf("AllPairs(4) yielded %d pairs", len(got))
+	}
+	// Lexicographic order, canonical form.
+	for i, p := range got {
+		if p.A >= p.B {
+			t.Fatalf("non-canonical pair %v", p)
+		}
+		if i > 0 {
+			prev := got[i-1]
+			if prev.A > p.A || (prev.A == p.A && prev.B >= p.B) {
+				t.Fatalf("out of order: %v then %v", prev, p)
+			}
+		}
+	}
+	// Early stop.
+	count := 0
+	AllPairs(10, func(Pair) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d pairs", count)
+	}
+}
+
+func TestPairIndexRoundTrip(t *testing.T) {
+	prop := func(nRaw, aRaw, bRaw uint16) bool {
+		n := int(nRaw%200) + 2
+		a := int(aRaw) % n
+		b := int(bRaw) % n
+		if a == b {
+			b = (b + 1) % n
+		}
+		p := NewPair(a, b)
+		idx := PairIndex(n, p)
+		if idx < 0 || idx >= NumPairs(n) {
+			return false
+		}
+		return PairFromIndex(n, idx) == p
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairIndexDense(t *testing.T) {
+	// Indices must enumerate 0..NumPairs-1 exactly once in AllPairs order.
+	const n = 12
+	next := 0
+	AllPairs(n, func(p Pair) bool {
+		if got := PairIndex(n, p); got != next {
+			t.Fatalf("PairIndex(%v) = %d, want %d", p, got, next)
+		}
+		next++
+		return true
+	})
+	if next != NumPairs(n) {
+		t.Fatalf("enumerated %d pairs", next)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := NewUnionFind(6)
+	if !u.Union(0, 1) {
+		t.Fatal("first union reported no-op")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("repeated union reported merge")
+	}
+	u.Union(1, 2)
+	u.Union(4, 5)
+	if u.Find(0) != u.Find(2) {
+		t.Fatal("transitive union broken")
+	}
+	if u.Find(3) == u.Find(0) {
+		t.Fatal("separate sets merged")
+	}
+	clusters := u.Clusters()
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	if len(clusters[0]) != 3 || clusters[0][0] != 0 {
+		t.Fatalf("first cluster = %v", clusters[0])
+	}
+	if len(clusters[1]) != 2 || clusters[1][0] != 4 {
+		t.Fatalf("second cluster = %v", clusters[1])
+	}
+}
+
+func TestCanonicalDuplicatePairs(t *testing.T) {
+	// The paper's example: {q1−q2, q1−q4, q2−q1, q2−q4} ↦ {q1−q2, q1−q4}.
+	matches := []Pair{
+		NewPair(1, 2), NewPair(1, 4), NewPair(2, 1), NewPair(2, 4),
+	}
+	got := CanonicalDuplicatePairs(5, matches)
+	if len(got) != 2 {
+		t.Fatalf("canonical pairs = %v", got)
+	}
+	if got[0] != (Pair{A: 1, B: 2}) || got[1] != (Pair{A: 1, B: 4}) {
+		t.Fatalf("canonical pairs = %v", got)
+	}
+	// A cluster of size k contributes exactly k−1 pairs.
+	big := CanonicalDuplicatePairs(10, []Pair{
+		NewPair(0, 1), NewPair(1, 2), NewPair(2, 3), NewPair(5, 6),
+	})
+	if len(big) != 4 { // cluster {0,1,2,3} → 3 pairs; {5,6} → 1
+		t.Fatalf("canonical pairs = %v", big)
+	}
+}
+
+func TestBlockerFindsTokenSharers(t *testing.T) {
+	keys := []string{
+		"Golden Dragon Cafe",
+		"Dragon Palace",
+		"Blue Lagoon",
+		"Lagoon Grill",
+		"Unrelated Eatery",
+	}
+	pairs := Blocker{}.CandidatePairs(keys)
+	has := func(a, b int) bool {
+		for _, p := range pairs {
+			if p == NewPair(a, b) {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0, 1) {
+		t.Fatal("missing dragon pair")
+	}
+	if !has(2, 3) {
+		t.Fatal("missing lagoon pair")
+	}
+	if has(0, 4) || has(1, 4) {
+		t.Fatal("blocked pair without shared token")
+	}
+	// Deduplicated and sorted.
+	for i := 1; i < len(pairs); i++ {
+		a, b := pairs[i-1], pairs[i]
+		if a.A > b.A || (a.A == b.A && a.B >= b.B) {
+			t.Fatalf("pairs unsorted or duplicated: %v then %v", a, b)
+		}
+	}
+}
+
+func TestBlockerMaxBlockSize(t *testing.T) {
+	// 100 records all sharing one stop-word token: a max block size of 10
+	// must suppress the quadratic blow-up entirely.
+	keys := make([]string, 100)
+	for i := range keys {
+		keys[i] = "common"
+	}
+	pairs := Blocker{MaxBlockSize: 10}.CandidatePairs(keys)
+	if len(pairs) != 0 {
+		t.Fatalf("oversized block produced %d pairs", len(pairs))
+	}
+}
+
+func TestBipartiteCandidatePairs(t *testing.T) {
+	left := []string{"adobe photoshop", "corel draw"}
+	right := []string{"photoshop elements", "unrelated thing"}
+	pairs := Blocker{}.BipartiteCandidatePairs(left, right)
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	// Right ids offset by len(left); only cross-catalog pairs.
+	if pairs[0].A != 0 || pairs[0].B != 2 {
+		t.Fatalf("pair = %v", pairs[0])
+	}
+}
+
+func TestBipartiteNoSameSidePairs(t *testing.T) {
+	left := []string{"alpha beta", "beta gamma"}
+	right := []string{"delta"}
+	pairs := Blocker{}.BipartiteCandidatePairs(left, right)
+	for _, p := range pairs {
+		if p.A >= len(left) || p.B < len(left) {
+			t.Fatalf("same-side pair %v", p)
+		}
+	}
+	if len(pairs) != 0 {
+		t.Fatalf("no cross tokens shared, got %v", pairs)
+	}
+}
+
+func TestUnionFindRandomizedAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 40
+	u := NewUnionFind(n)
+	naive := make([]int, n) // component labels by exhaustive relabeling
+	for i := range naive {
+		naive[i] = i
+	}
+	for step := 0; step < 200; step++ {
+		a, b := rng.IntN(n), rng.IntN(n)
+		if a == b {
+			continue
+		}
+		u.Union(a, b)
+		la, lb := naive[a], naive[b]
+		for i := range naive {
+			if naive[i] == lb {
+				naive[i] = la
+			}
+		}
+		// Spot-check equivalence of the partitions.
+		x, y := rng.IntN(n), rng.IntN(n)
+		if (u.Find(x) == u.Find(y)) != (naive[x] == naive[y]) {
+			t.Fatalf("step %d: partition mismatch for %d,%d", step, x, y)
+		}
+	}
+}

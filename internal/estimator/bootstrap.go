@@ -1,0 +1,168 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dqm/internal/stats"
+	"dqm/internal/votes"
+	"dqm/internal/xrand"
+)
+
+// Bootstrap confidence intervals answer the paper's §6.3 question — "how
+// much trust can an analyst place in our estimates?" — by resampling the
+// item dimension of the observed data: items are the exchangeable units of
+// the species-estimation model, so a nonparametric bootstrap over item rows
+// propagates sampling variability into the estimate.
+
+// CI is a two-sided percentile confidence interval around an estimate.
+type CI struct {
+	Lo, Hi float64
+	// Level is the nominal confidence level, e.g. 0.95.
+	Level float64
+	// Replicates is the number of bootstrap resamples used.
+	Replicates int
+}
+
+// Contains reports whether v lies within the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// Width returns Hi − Lo.
+func (c CI) Width() float64 { return c.Hi - c.Lo }
+
+func percentileCI(samples []float64, level float64, reps int) CI {
+	sort.Float64s(samples)
+	alpha := (1 - level) / 2
+	lo := samples[int(alpha*float64(len(samples)-1))]
+	hi := samples[int((1-alpha)*float64(len(samples)-1))]
+	return CI{Lo: lo, Hi: hi, Level: level, Replicates: reps}
+}
+
+// BootstrapChao92 returns a percentile CI for the Chao92 total-error
+// estimate by resampling items (with replacement) from the matrix. B is
+// the number of replicates (≥ 100 recommended); level the confidence level.
+func BootstrapChao92(m *votes.Matrix, b int, level float64, rng *xrand.RNG) (CI, error) {
+	if err := checkBootstrapArgs(b, level); err != nil {
+		return CI{}, err
+	}
+	n := m.NumItems()
+	// Snapshot per-item positive counts once.
+	pos := make([]int, n)
+	for i := 0; i < n; i++ {
+		pos[i] = m.Pos(i)
+	}
+	ests := make([]float64, b)
+	counts := make([]int, n)
+	for rep := 0; rep < b; rep++ {
+		counts = counts[:0]
+		for k := 0; k < n; k++ {
+			counts = append(counts, pos[rng.IntN(n)])
+		}
+		f := stats.NewFreqFromCounts(counts)
+		in := stats.Chao92Input{C: f.Species(), F: f, N: f.Mass()}
+		ests[rep] = stats.Chao92(in).Estimate
+	}
+	return percentileCI(ests, level, b), nil
+}
+
+// BootstrapSwitch returns a percentile CI for the SWITCH total-error
+// estimate. The estimator must have been built with RetainLedgers (see
+// SwitchConfig); each replicate resamples items and rebuilds the
+// sign-specific switch statistics from the per-item ledgers, applying the
+// same trend branch as the point estimate.
+func (e *SwitchEstimator) BootstrapSwitch(b int, level float64, rng *xrand.RNG) (CI, error) {
+	if err := checkBootstrapArgs(b, level); err != nil {
+		return CI{}, err
+	}
+	tr := e.tracker
+	if !tr.RetainsLedgers() {
+		return CI{}, fmt.Errorf("estimator: bootstrap requires SwitchConfig.RetainLedgers")
+	}
+	n := tr.NumItems()
+	trend := e.trend()
+
+	ests := make([]float64, b)
+	for rep := 0; rep < b; rep++ {
+		var (
+			fPos, fNeg = stats.Freq{0}, stats.Freq{0}
+			cPos, cNeg int64
+			obsPos     int64
+			obsNeg     int64
+			nSwitch    int64
+			maj        int64
+		)
+		for k := 0; k < n; k++ {
+			i := rng.IntN(n)
+			if tr.ItemMajorityDirty(i) {
+				maj++
+			}
+			ledger := tr.ItemLedger(i)
+			if len(ledger) == 0 {
+				continue
+			}
+			hasPos, hasNeg := false, false
+			for _, ev := range ledger {
+				nSwitch += int64(ev.Freq)
+				if ev.Positive {
+					fPos.Add(ev.Freq, 1)
+					obsPos++
+					hasPos = true
+				} else {
+					fNeg.Add(ev.Freq, 1)
+					obsNeg++
+					hasNeg = true
+				}
+			}
+			if hasPos {
+				cPos++
+			}
+			if hasNeg {
+				cNeg++
+			}
+		}
+		xiPos := bootXi(e.cfg.NMode, cPos, fPos, obsPos, nSwitch)
+		xiNeg := bootXi(e.cfg.NMode, cNeg, fNeg, obsNeg, nSwitch)
+		var total float64
+		switch trend {
+		case TrendUp:
+			total = float64(maj) + xiPos
+		case TrendDown:
+			total = float64(maj) - xiNeg
+		default:
+			total = float64(maj) + xiPos - xiNeg
+		}
+		if e.cfg.CapToPopulation {
+			total = stats.Clamp(total, 0, float64(n))
+		} else if total < 0 {
+			total = 0
+		}
+		ests[rep] = total
+	}
+	return percentileCI(ests, level, b), nil
+}
+
+func bootXi(mode NMode, c int64, f stats.Freq, observed, nSwitch int64) float64 {
+	if c == 0 {
+		return 0
+	}
+	n := nSwitch
+	if mode == NModeSignMass {
+		n = f.Mass()
+	}
+	d := stats.Chao92(stats.Chao92Input{C: c, F: f, N: n}).Estimate
+	if d < float64(observed) {
+		d = float64(observed)
+	}
+	return math.Max(0, d-float64(observed))
+}
+
+func checkBootstrapArgs(b int, level float64) error {
+	if b < 10 {
+		return fmt.Errorf("estimator: %d bootstrap replicates is too few (want ≥ 10)", b)
+	}
+	if level <= 0 || level >= 1 {
+		return fmt.Errorf("estimator: confidence level %v outside (0,1)", level)
+	}
+	return nil
+}

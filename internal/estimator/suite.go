@@ -1,0 +1,124 @@
+package estimator
+
+import (
+	"dqm/internal/stats"
+	"dqm/internal/votes"
+)
+
+// Canonical estimator names used across the experiment harness, CLI output
+// and EXPERIMENTS.md. They match the labels in the paper's figures.
+const (
+	NameNominal = "NOMINAL"
+	NameVoting  = "VOTING"
+	NameChao92  = "CHAO92"
+	NameVChao92 = "V-CHAO"
+	NameSwitch  = "SWITCH"
+	NameGT      = "GT" // ground truth, where plotted
+)
+
+// Suite evaluates every streaming estimator over a single shared response
+// matrix, avoiding one matrix copy per estimator. It is the unit the
+// experiment harness advances task by task.
+type Suite struct {
+	Matrix *votes.Matrix
+	Switch *SwitchEstimator
+
+	vcfg VChao92Config
+	cap  bool
+	n    int
+}
+
+// SuiteConfig configures a Suite.
+type SuiteConfig struct {
+	// VChao92 parameterizes the V-CHAO member (default shift 1, the paper's
+	// setting).
+	VChao92 VChao92Config
+	// Switch parameterizes the SWITCH member.
+	Switch SwitchConfig
+	// CapToPopulation clamps all species estimates into [0, N].
+	CapToPopulation bool
+}
+
+// NewSuite creates a suite over n items.
+func NewSuite(n int, cfg SuiteConfig) *Suite {
+	if cfg.VChao92.Shift == 0 {
+		cfg.VChao92.Shift = 1
+	}
+	cfg.Switch.CapToPopulation = cfg.Switch.CapToPopulation || cfg.CapToPopulation
+	return &Suite{
+		Matrix: votes.NewMatrix(n),
+		Switch: NewSwitch(n, cfg.Switch),
+		vcfg:   cfg.VChao92,
+		cap:    cfg.CapToPopulation,
+		n:      n,
+	}
+}
+
+// Observe ingests one vote into every member.
+func (s *Suite) Observe(v votes.Vote) {
+	s.Matrix.Add(v)
+	s.Switch.Observe(v)
+}
+
+// ObserveTask ingests a whole task's votes and marks the task boundary.
+func (s *Suite) ObserveTask(task []votes.Vote) {
+	for _, v := range task {
+		s.Observe(v)
+	}
+	s.EndTask()
+}
+
+// EndTask marks a task boundary for the trend detector.
+func (s *Suite) EndTask() { s.Switch.EndTask() }
+
+// clampEst applies the population cap when configured.
+func (s *Suite) clampEst(v float64) float64 {
+	if s.cap {
+		return stats.Clamp(v, 0, float64(s.n))
+	}
+	return v
+}
+
+// Estimates is a snapshot of every estimator's total-error estimate.
+type Estimates struct {
+	Nominal float64
+	Voting  float64
+	Chao92  float64
+	VChao92 float64
+	Switch  SwitchEstimate
+}
+
+// ByName returns the named estimate, matching the figure labels.
+func (e Estimates) ByName(name string) float64 {
+	switch name {
+	case NameNominal:
+		return e.Nominal
+	case NameVoting:
+		return e.Voting
+	case NameChao92:
+		return e.Chao92
+	case NameVChao92:
+		return e.VChao92
+	case NameSwitch:
+		return e.Switch.Total
+	default:
+		return 0
+	}
+}
+
+// EstimateAll evaluates every member at the current stream position.
+func (s *Suite) EstimateAll() Estimates {
+	return Estimates{
+		Nominal: Nominal(s.Matrix),
+		Voting:  Voting(s.Matrix),
+		Chao92:  s.clampEst(Chao92(s.Matrix)),
+		VChao92: s.clampEst(VChao92(s.Matrix, s.vcfg)),
+		Switch:  s.Switch.Estimate(),
+	}
+}
+
+// Reset clears the suite for the next permutation.
+func (s *Suite) Reset() {
+	s.Matrix.Reset()
+	s.Switch.Reset()
+}

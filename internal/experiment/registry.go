@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Driver produces one or more figures for an experiment id.
+type Driver func(Options) []*Figure
+
+// single lifts a one-figure driver.
+func single(f func(Options) *Figure) Driver {
+	return func(o Options) []*Figure { return []*Figure{f(o)} }
+}
+
+// registry maps experiment ids (as accepted by cmd/dqm-experiments -figure)
+// to drivers.
+var registry = map[string]Driver{
+	"2a":                 single(Fig2a),
+	"2b":                 single(Fig2b),
+	"3":                  Fig3,
+	"4":                  Fig4,
+	"5":                  Fig5,
+	"6a":                 single(Fig6a),
+	"6b":                 single(Fig6b),
+	"7a":                 single(Fig7a),
+	"7b":                 single(Fig7b),
+	"7c":                 single(Fig7c),
+	"8":                  single(Fig8),
+	"sec321":             single(Sec321),
+	"ablation-switch":    single(AblationSwitch),
+	"ablation-vchao":     single(AblationVChao),
+	"ablation-baselines": single(AblationBaselines),
+	"ext-algorithmic":    single(ExtAlgorithmic),
+	"ext-quality":        single(ExtQuality),
+	"ext-fatigue":        single(ExtFatigue),
+	"ext-redundancy":     single(ExtRedundancy),
+}
+
+// IDs returns the registered experiment ids in stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByID returns the driver for an experiment id.
+func ByID(id string) (Driver, error) {
+	d, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown figure %q (known: %v)", id, IDs())
+	}
+	return d, nil
+}

@@ -1,0 +1,205 @@
+// Package experiment reproduces the paper's evaluation: each figure of
+// Section 6 has a driver that assembles the population, the simulated crowd
+// and the estimator suite, replays the task stream over r random
+// permutations (the paper's averaging protocol), and emits the same series
+// the figure plots.
+package experiment
+
+import (
+	"fmt"
+
+	"dqm/internal/crowd"
+	"dqm/internal/dataset"
+	"dqm/internal/estimator"
+	"dqm/internal/stats"
+	"dqm/internal/votes"
+	"dqm/internal/xrand"
+)
+
+// Extra series names produced by the runner beyond the estimator labels.
+const (
+	SeriesXiPos     = "XI_POS"     // estimated remaining positive switches ξ⁺
+	SeriesXiNeg     = "XI_NEG"     // estimated remaining negative switches ξ⁻
+	SeriesNeededPos = "NEEDED_POS" // ground-truth positive switches still needed
+	SeriesNeededNeg = "NEEDED_NEG" // ground-truth negative switches still needed
+)
+
+// RunConfig describes one estimation run over a fixed set of collected
+// tasks.
+type RunConfig struct {
+	// Population supplies N and the ground truth.
+	Population *dataset.Population
+	// Tasks are the collected worker responses; permutations reorder them.
+	Tasks []crowd.Task
+	// Checkpoints are the task counts at which estimates are recorded; they
+	// must be ascending. Nil selects an even grid of ~50 points.
+	Checkpoints []int
+	// Permutations is r; the paper uses 10. 0 selects 10.
+	Permutations int
+	// Seed drives the permutation shuffles.
+	Seed uint64
+	// Suite configures the estimators.
+	Suite estimator.SuiteConfig
+	// TrackNeeded enables the ground-truth needed-switch series (used by the
+	// b/c panels of Figures 3–5); it costs O(N) per checkpoint.
+	TrackNeeded bool
+}
+
+func (c *RunConfig) setDefaults() {
+	if c.Permutations == 0 {
+		c.Permutations = 10
+	}
+	if c.Checkpoints == nil {
+		c.Checkpoints = EvenCheckpoints(len(c.Tasks), 50)
+	}
+}
+
+// EvenCheckpoints returns ~points ascending task counts ending at total.
+func EvenCheckpoints(total, points int) []int {
+	if total <= 0 {
+		return nil
+	}
+	if points <= 0 || points > total {
+		points = total
+	}
+	out := make([]int, 0, points)
+	for i := 1; i <= points; i++ {
+		cp := i * total / points
+		if len(out) == 0 || cp > out[len(out)-1] {
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// RunResult aggregates the per-checkpoint estimates over all permutations.
+type RunResult struct {
+	// X holds the checkpoint task counts.
+	X []float64
+	// Mean and Std map series name → per-checkpoint aggregate over the r
+	// permutations.
+	Mean map[string][]float64
+	Std  map[string][]float64
+	// Truth is |R_dirty|.
+	Truth float64
+	// FinalEstimates holds, per series, the r estimates at the last
+	// checkpoint (the inputs to SRMSE).
+	FinalEstimates map[string][]float64
+}
+
+// runSeries lists the series the runner always records.
+var runSeries = []string{
+	estimator.NameNominal, estimator.NameVoting, estimator.NameChao92,
+	estimator.NameVChao92, estimator.NameSwitch, SeriesXiPos, SeriesXiNeg,
+}
+
+// Run replays the tasks over r permutations and aggregates estimates.
+func Run(cfg RunConfig) *RunResult {
+	cfg.setDefaults()
+	pop := cfg.Population
+	rng := xrand.New(cfg.Seed).SplitNamed("runner")
+
+	names := append([]string(nil), runSeries...)
+	if cfg.TrackNeeded {
+		names = append(names, SeriesNeededPos, SeriesNeededNeg)
+	}
+
+	// rows[name][perm][checkpoint]
+	rows := make(map[string][][]float64, len(names))
+	for _, n := range names {
+		rows[n] = make([][]float64, cfg.Permutations)
+	}
+
+	order := make([]int, len(cfg.Tasks))
+	suite := estimator.NewSuite(pop.N(), cfg.Suite)
+	for p := 0; p < cfg.Permutations; p++ {
+		for i := range order {
+			order[i] = i
+		}
+		permRNG := rng.Split()
+		permRNG.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+		suite.Reset()
+		record := func(name string, v float64) {
+			rows[name][p] = append(rows[name][p], v)
+		}
+		next := 0
+		for ti, oi := range order {
+			suite.ObserveTask(cfg.Tasks[oi].Votes())
+			if next < len(cfg.Checkpoints) && ti+1 == cfg.Checkpoints[next] {
+				est := suite.EstimateAll()
+				record(estimator.NameNominal, est.Nominal)
+				record(estimator.NameVoting, est.Voting)
+				record(estimator.NameChao92, est.Chao92)
+				record(estimator.NameVChao92, est.VChao92)
+				record(estimator.NameSwitch, est.Switch.Total)
+				record(SeriesXiPos, est.Switch.XiPos)
+				record(SeriesXiNeg, est.Switch.XiNeg)
+				if cfg.TrackNeeded {
+					np, nn := neededSwitches(suite.Matrix, pop.Truth)
+					record(SeriesNeededPos, float64(np))
+					record(SeriesNeededNeg, float64(nn))
+				}
+				next++
+			}
+		}
+	}
+
+	res := &RunResult{
+		X:              make([]float64, len(cfg.Checkpoints)),
+		Mean:           make(map[string][]float64, len(names)),
+		Std:            make(map[string][]float64, len(names)),
+		Truth:          float64(pop.NumDirty()),
+		FinalEstimates: make(map[string][]float64, len(names)),
+	}
+	for i, cp := range cfg.Checkpoints {
+		res.X[i] = float64(cp)
+	}
+	for _, n := range names {
+		res.Mean[n] = stats.MeanSeries(rows[n])
+		res.Std[n] = stats.StdSeries(rows[n])
+		finals := make([]float64, cfg.Permutations)
+		for p := 0; p < cfg.Permutations; p++ {
+			row := rows[n][p]
+			if len(row) > 0 {
+				finals[p] = row[len(row)-1]
+			}
+		}
+		res.FinalEstimates[n] = finals
+	}
+	return res
+}
+
+// neededSwitches counts, against the ground truth E, how many consensus
+// decisions still have to flip: positive = consensus clean (default for
+// unseen) but truly dirty; negative = consensus dirty but truly clean. This
+// is the figures' "Ground Truth" line for the switch panels.
+func neededSwitches(m *votes.Matrix, truth *dataset.GroundTruth) (pos, neg int) {
+	for i := 0; i < m.NumItems(); i++ {
+		maj := m.MajorityDirty(i)
+		dirty := truth.IsDirty(i)
+		switch {
+		case dirty && !maj:
+			pos++
+		case !dirty && maj:
+			neg++
+		}
+	}
+	return pos, neg
+}
+
+// SRMSEAt computes the scaled RMSE of a series' final estimates against the
+// population truth.
+func (r *RunResult) SRMSEAt(name string) float64 {
+	return stats.SRMSE(r.FinalEstimates[name], r.Truth)
+}
+
+// Lookup returns the mean series by name, panicking on unknown names so
+// figure drivers fail loudly rather than plotting empty lines.
+func (r *RunResult) Lookup(name string) []float64 {
+	s, ok := r.Mean[name]
+	if !ok {
+		panic(fmt.Sprintf("experiment: unknown series %q", name))
+	}
+	return s
+}

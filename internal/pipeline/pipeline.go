@@ -1,0 +1,149 @@
+// Package pipeline wires the substrates into the end-to-end propose–verify
+// flow of Section 5: generate (or accept) a dataset, score record pairs with
+// a similarity heuristic, window the scores into auto-clean / candidate /
+// auto-dirty regions, and expose the candidate set as the item space for
+// crowd verification and estimation.
+package pipeline
+
+import (
+	"dqm/internal/dataset"
+	"dqm/internal/entity"
+	"dqm/internal/heuristic"
+	"dqm/internal/similarity"
+)
+
+// CandidateSpace is the outcome of the algorithmic first stage: the item
+// space handed to the crowd. Item i of the estimation problem is
+// Pairs[i]; Truth marks which candidate pairs are true duplicates.
+type CandidateSpace struct {
+	// Pairs are the candidate record pairs (ids into the source dataset;
+	// for bipartite catalogs the right side is offset by the left size).
+	Pairs []entity.Pair
+	// Truth marks true duplicates among the candidates.
+	Truth *dataset.GroundTruth
+	// AutoDirty counts pairs above the window (auto-merged), of which
+	// AutoDirtyTrue are actually duplicates — nonzero only for imperfect
+	// heuristics.
+	AutoDirty, AutoDirtyTrue int
+	// MissedBelow counts true duplicates the heuristic dropped below the
+	// window (the heuristic's false negatives).
+	MissedBelow int
+}
+
+// Population converts the candidate space into the estimation population.
+func (c *CandidateSpace) Population(describe string) *dataset.Population {
+	return &dataset.Population{Truth: c.Truth, Describe: describe}
+}
+
+// RestaurantCandidates runs the CrowdER-style first stage on a generated
+// restaurant dataset: normalized edit-distance similarity over all record
+// pairs, with the paper's window (0.5, 0.9) — pairs above 0.9 are obvious
+// matches, below 0.5 obvious non-matches.
+func RestaurantCandidates(data *dataset.RestaurantData, alpha, beta float64) *CandidateSpace {
+	keys := make([]string, len(data.Records))
+	for i, r := range data.Records {
+		keys[i] = r.Key()
+	}
+	isDup := pairSet(data.DuplicatePairs)
+	var out CandidateSpace
+	var dirty []int
+	entity.AllPairs(len(keys), func(p entity.Pair) bool {
+		s := similarity.TokenSortedEditSimilarity(keys[p.A], keys[p.B])
+		dup := isDup[p]
+		switch {
+		case s > beta:
+			out.AutoDirty++
+			if dup {
+				out.AutoDirtyTrue++
+			}
+		case s < alpha:
+			if dup {
+				out.MissedBelow++
+			}
+		default:
+			if dup {
+				dirty = append(dirty, len(out.Pairs))
+			}
+			out.Pairs = append(out.Pairs, p)
+		}
+		return true
+	})
+	out.Truth = dataset.NewGroundTruth(len(out.Pairs), dirty)
+	return &out
+}
+
+// ProductCandidates runs the first stage on the bipartite product catalogs
+// with token blocking (the full 3.2M-pair cross product is never scored) and
+// the paper's window (0.4, 0.7).
+func ProductCandidates(data *dataset.ProductData, alpha, beta float64) *CandidateSpace {
+	left := make([]string, len(data.Amazon))
+	for i, p := range data.Amazon {
+		left[i] = p.Key()
+	}
+	right := make([]string, len(data.Google))
+	for i, p := range data.Google {
+		right[i] = p.Key()
+	}
+	isDup := make(map[entity.Pair]bool, len(data.MatchPairs))
+	for _, mp := range data.MatchPairs {
+		isDup[entity.Pair{A: mp[0], B: len(left) + mp[1]}] = true
+	}
+
+	blocker := entity.Blocker{MaxBlockSize: 128}
+	cands := blocker.BipartiteCandidatePairs(left, right)
+
+	// True matches missed by blocking count as heuristic false negatives.
+	inCands := make(map[entity.Pair]bool, len(cands))
+	for _, p := range cands {
+		inCands[p] = true
+	}
+
+	var out CandidateSpace
+	var dirty []int
+	keys := func(p entity.Pair) (string, string) {
+		return left[p.A], right[p.B-len(left)]
+	}
+	for _, p := range cands {
+		ka, kb := keys(p)
+		s := similarity.TokenSortedEditSimilarity(ka, kb)
+		dup := isDup[p]
+		switch {
+		case s > beta:
+			out.AutoDirty++
+			if dup {
+				out.AutoDirtyTrue++
+			}
+		case s < alpha:
+			if dup {
+				out.MissedBelow++
+			}
+		default:
+			if dup {
+				dirty = append(dirty, len(out.Pairs))
+			}
+			out.Pairs = append(out.Pairs, p)
+		}
+	}
+	for p := range isDup {
+		if !inCands[p] {
+			out.MissedBelow++
+		}
+	}
+	out.Truth = dataset.NewGroundTruth(len(out.Pairs), dirty)
+	return &out
+}
+
+// ScoreWindow partitions arbitrary scored items with heuristic.Split; it is
+// re-exported here so pipeline users need not import the heuristic package
+// for the common case.
+func ScoreWindow(scores []float64, alpha, beta float64) heuristic.Partition {
+	return heuristic.Split(scores, alpha, beta)
+}
+
+func pairSet(pairs [][2]int) map[entity.Pair]bool {
+	out := make(map[entity.Pair]bool, len(pairs))
+	for _, p := range pairs {
+		out[entity.NewPair(p[0], p[1])] = true
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+// Package similarity provides the string-similarity measures used by the
+// CrowdER-style prioritization heuristics: normalized edit-distance
+// similarity (the measure the paper uses to window candidate pairs), Jaccard
+// similarity over token sets (the measure CrowdER's first stage uses), and
+// n-gram similarity.
+package similarity
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Levenshtein returns the edit distance between a and b (unit costs for
+// insertion, deletion and substitution), operating on runes.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Single-row dynamic program; prev is D[i-1][*], cur is D[i][*].
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// EditSimilarity returns the normalized edit-distance similarity
+// 1 − d(a,b)/max(|a|,|b|) ∈ [0, 1]. Two empty strings have similarity 1.
+func EditSimilarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// Tokenize lower-cases s and splits it into alphanumeric tokens.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Jaccard returns the Jaccard similarity |A∩B| / |A∪B| of the token sets of
+// a and b. Two token-less strings have similarity 1.
+func Jaccard(a, b string) float64 {
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	set := make(map[string]uint8, len(ta)+len(tb))
+	for _, t := range ta {
+		set[t] |= 1
+	}
+	for _, t := range tb {
+		set[t] |= 2
+	}
+	inter := 0
+	for _, m := range set {
+		if m == 3 {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(set))
+}
+
+// NGrams returns the multiset of character n-grams of s (as a count map).
+// Strings shorter than n yield the whole string as a single gram.
+func NGrams(s string, n int) map[string]int {
+	r := []rune(strings.ToLower(s))
+	out := make(map[string]int)
+	if len(r) == 0 {
+		return out
+	}
+	if len(r) <= n {
+		out[string(r)]++
+		return out
+	}
+	for i := 0; i+n <= len(r); i++ {
+		out[string(r[i:i+n])]++
+	}
+	return out
+}
+
+// NGramSimilarity returns the Dice coefficient over character n-gram
+// multisets: 2·|A∩B| / (|A|+|B|).
+func NGramSimilarity(a, b string, n int) float64 {
+	ga, gb := NGrams(a, n), NGrams(b, n)
+	var sa, sb, inter int
+	for _, c := range ga {
+		sa += c
+	}
+	for _, c := range gb {
+		sb += c
+	}
+	if sa+sb == 0 {
+		return 1
+	}
+	for g, ca := range ga {
+		if cb, ok := gb[g]; ok {
+			inter += min2(ca, cb)
+		}
+	}
+	return 2 * float64(inter) / float64(sa+sb)
+}
+
+// TokenSortKey normalizes a string for order-insensitive comparison:
+// lower-cased tokens sorted and re-joined. "Cafe Ritz-Carlton Buckhead" and
+// "Ritz-Carlton Cafe (Buckhead)" normalize to the same key.
+func TokenSortKey(s string) string {
+	toks := Tokenize(s)
+	// Insertion sort: token lists are short.
+	for i := 1; i < len(toks); i++ {
+		for j := i; j > 0 && toks[j] < toks[j-1]; j-- {
+			toks[j], toks[j-1] = toks[j-1], toks[j]
+		}
+	}
+	return strings.Join(toks, " ")
+}
+
+// TokenSortedEditSimilarity returns the edit similarity of the token-sorted
+// normalizations, robust to token reordering typical of duplicate records.
+func TokenSortedEditSimilarity(a, b string) float64 {
+	return EditSimilarity(TokenSortKey(a), TokenSortKey(b))
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func min3(a, b, c int) int {
+	return min2(min2(a, b), c)
+}

@@ -1,0 +1,190 @@
+package similarity
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnown(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"saturday", "sunday", 3},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"ab", "ba", 2},
+		{"café", "cafe", 1}, // rune-level, not byte-level
+	}
+	for _, tt := range tests {
+		if got := Levenshtein(tt.a, tt.b); got != tt.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func randStr(rng *rand.Rand, maxLen int) string {
+	n := rng.IntN(maxLen + 1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.IntN(4)) // small alphabet makes collisions likely
+	}
+	return string(b)
+}
+
+func TestLevenshteinMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	prop := func(seed uint64) bool {
+		a, b, c := randStr(rng, 12), randStr(rng, 12), randStr(rng, 12)
+		dab, dba := Levenshtein(a, b), Levenshtein(b, a)
+		if dab != dba { // symmetry
+			return false
+		}
+		if Levenshtein(a, a) != 0 { // identity
+			return false
+		}
+		if dab == 0 && a != b { // separation
+			return false
+		}
+		// Triangle inequality.
+		if Levenshtein(a, c) > dab+Levenshtein(b, c) {
+			return false
+		}
+		// Upper bound: max length.
+		maxLen := len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+		return dab <= maxLen
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditSimilarity(t *testing.T) {
+	if got := EditSimilarity("", ""); got != 1 {
+		t.Fatalf("empty similarity = %v", got)
+	}
+	if got := EditSimilarity("abc", "abc"); got != 1 {
+		t.Fatalf("equal similarity = %v", got)
+	}
+	if got := EditSimilarity("abc", "xyz"); got != 0 {
+		t.Fatalf("disjoint similarity = %v", got)
+	}
+	if got := EditSimilarity("abcd", "abcx"); got != 0.75 {
+		t.Fatalf("similarity = %v, want 0.75", got)
+	}
+}
+
+func TestEditSimilarityBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	prop := func(seed uint64) bool {
+		a, b := randStr(rng, 15), randStr(rng, 15)
+		s := EditSimilarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Ritz-Carlton Cafe (Buckhead) #2")
+	want := []string{"ritz", "carlton", "cafe", "buckhead", "2"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize = %v, want %v", got, want)
+		}
+	}
+	if len(Tokenize("  ...  ")) != 0 {
+		t.Fatal("punctuation-only string should have no tokens")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if got := Jaccard("", ""); got != 1 {
+		t.Fatalf("empty Jaccard = %v", got)
+	}
+	if got := Jaccard("a b c", "a b c"); got != 1 {
+		t.Fatalf("equal Jaccard = %v", got)
+	}
+	if got := Jaccard("a b", "c d"); got != 0 {
+		t.Fatalf("disjoint Jaccard = %v", got)
+	}
+	if got := Jaccard("a b c", "b c d"); got != 0.5 {
+		t.Fatalf("Jaccard = %v, want 0.5", got)
+	}
+	// Case and punctuation insensitivity.
+	if got := Jaccard("Ritz-Carlton Cafe", "cafe RITZ carlton"); got != 1 {
+		t.Fatalf("normalized Jaccard = %v", got)
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	g := NGrams("abab", 2)
+	if g["ab"] != 2 || g["ba"] != 1 || len(g) != 2 {
+		t.Fatalf("NGrams = %v", g)
+	}
+	short := NGrams("a", 3)
+	if short["a"] != 1 || len(short) != 1 {
+		t.Fatalf("short NGrams = %v", short)
+	}
+	if len(NGrams("", 2)) != 0 {
+		t.Fatal("empty NGrams should be empty")
+	}
+}
+
+func TestNGramSimilarity(t *testing.T) {
+	if got := NGramSimilarity("night", "night", 2); got != 1 {
+		t.Fatalf("equal ngram sim = %v", got)
+	}
+	if got := NGramSimilarity("abc", "xyz", 2); got != 0 {
+		t.Fatalf("disjoint ngram sim = %v", got)
+	}
+	if got := NGramSimilarity("", "", 2); got != 1 {
+		t.Fatalf("empty ngram sim = %v", got)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 200; i++ {
+		s := NGramSimilarity(randStr(rng, 10), randStr(rng, 10), 2)
+		if s < 0 || s > 1 {
+			t.Fatalf("ngram sim out of bounds: %v", s)
+		}
+	}
+}
+
+func TestTokenSortKey(t *testing.T) {
+	// The paper's duplicate example: reordering plus punctuation drift.
+	a := TokenSortKey("Ritz-Carlton Cafe (buckhead)")
+	b := TokenSortKey("Cafe Ritz-Carlton Buckhead")
+	if a != b {
+		t.Fatalf("keys differ: %q vs %q", a, b)
+	}
+	if got := TokenSortKey("b a c"); got != "a b c" {
+		t.Fatalf("TokenSortKey = %q", got)
+	}
+	if got := TokenSortKey(""); got != "" {
+		t.Fatalf("empty key = %q", got)
+	}
+}
+
+func TestTokenSortedEditSimilarity(t *testing.T) {
+	// Token reordering should not hurt the sorted similarity.
+	if got := TokenSortedEditSimilarity("Golden Dragon Cafe", "Cafe Golden Dragon"); got != 1 {
+		t.Fatalf("reordered similarity = %v", got)
+	}
+	plain := EditSimilarity("Golden Dragon Cafe", "Cafe Golden Dragon")
+	if plain >= 1 {
+		t.Fatal("test premise broken: plain similarity should degrade on reorder")
+	}
+}

@@ -1,0 +1,209 @@
+// Package stats implements the statistical substrate of the DQM paper:
+// frequency statistics (the "data fingerprint"), Good–Turing sample coverage,
+// the Chao92 estimator family, and the scaled error metric used in the
+// sensitivity study.
+//
+// The species-estimation setting: n observations are drawn with replacement
+// from an unknown population; c distinct species are observed; f_j counts the
+// species seen exactly j times. Chao & Lee (1992) estimate the total number
+// of species from (c, f, n). The paper maps "species" to distinct erroneous
+// records (Section 3) and later to distinct consensus switches (Section 4).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Freq holds the frequency statistics (f-statistics) of a sample: Freq[j] is
+// f_j, the number of species observed exactly j times. Index 0 is unused and
+// always zero.
+type Freq []int64
+
+// NewFreqFromCounts builds f-statistics from per-species observation counts.
+// Species with a zero (or negative) count are ignored: they were never
+// observed and therefore contribute to no frequency class.
+func NewFreqFromCounts(counts []int) Freq {
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	f := make(Freq, maxC+1)
+	for _, c := range counts {
+		if c > 0 {
+			f[c]++
+		}
+	}
+	return f
+}
+
+// F returns f_j, tolerating out-of-range j.
+func (f Freq) F(j int) int64 {
+	if j < 1 || j >= len(f) {
+		return 0
+	}
+	return f[j]
+}
+
+// Add increments f_j by delta, growing the slice as needed. It panics on
+// j < 1. A pointer receiver is required because the slice may be reallocated.
+func (f *Freq) Add(j int, delta int64) {
+	if j < 1 {
+		panic(fmt.Sprintf("stats: frequency class %d < 1", j))
+	}
+	for len(*f) <= j {
+		*f = append(*f, 0)
+	}
+	(*f)[j] += delta
+}
+
+// Promote moves one species from class j to class j+1, the bookkeeping step
+// when a species is re-observed. It panics if f_j is already zero, which
+// would indicate a corrupted ledger.
+func (f *Freq) Promote(j int) {
+	if f.F(j) <= 0 {
+		panic(fmt.Sprintf("stats: promote from empty frequency class %d", j))
+	}
+	(*f)[j]--
+	f.Add(j+1, 1)
+}
+
+// Species returns c = Σ_j f_j, the number of distinct species observed.
+func (f Freq) Species() int64 {
+	var c int64
+	for j := 1; j < len(f); j++ {
+		c += f[j]
+	}
+	return c
+}
+
+// Mass returns n = Σ_j j·f_j, the total number of observations accounted for
+// by the fingerprint.
+func (f Freq) Mass() int64 {
+	var n int64
+	for j := 1; j < len(f); j++ {
+		n += int64(j) * f[j]
+	}
+	return n
+}
+
+// Singletons returns f_1.
+func (f Freq) Singletons() int64 { return f.F(1) }
+
+// Doubletons returns f_2.
+func (f Freq) Doubletons() int64 { return f.F(2) }
+
+// PairSum returns Σ_j j·(j−1)·f_j, the numerator of the coefficient of
+// variation estimate (Equation 5).
+func (f Freq) PairSum() int64 {
+	var s int64
+	for j := 1; j < len(f); j++ {
+		s += int64(j) * int64(j-1) * f[j]
+	}
+	return s
+}
+
+// Shift returns the fingerprint shifted by s classes: the returned Freq has
+// f'_j = f_{j+s}. Shifting discards the s lowest (most false-positive-prone)
+// frequency classes; it is the robustness device behind vChao92
+// (Section 3.3). Shift(0) returns a copy.
+func (f Freq) Shift(s int) Freq {
+	if s < 0 {
+		panic(fmt.Sprintf("stats: negative shift %d", s))
+	}
+	if len(f) <= s+1 {
+		return Freq{0}
+	}
+	out := make(Freq, len(f)-s)
+	out[0] = 0
+	copy(out[1:], f[1+s:])
+	return out
+}
+
+// DroppedCount returns Σ_{i=1..s} f_i, the number of species discarded by a
+// shift of s. The paper adjusts n by this quantity: n^{+,s} = n⁺ − Σ f_i.
+func (f Freq) DroppedCount(s int) int64 {
+	var d int64
+	for i := 1; i <= s; i++ {
+		d += f.F(i)
+	}
+	return d
+}
+
+// DroppedMass returns Σ_{i=1..s} i·f_i, the observation mass carried by the
+// discarded classes. This is the mass-preserving alternative adjustment
+// discussed in DESIGN.md and ablated in the benchmarks.
+func (f Freq) DroppedMass(s int) int64 {
+	var d int64
+	for i := 1; i <= s; i++ {
+		d += int64(i) * f.F(i)
+	}
+	return d
+}
+
+// Clone returns an independent copy.
+func (f Freq) Clone() Freq {
+	out := make(Freq, len(f))
+	copy(out, f)
+	return out
+}
+
+// String renders the non-zero classes compactly, e.g. "{f1:30 f2:12 f5:1}".
+func (f Freq) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for j := 1; j < len(f); j++ {
+		if f[j] == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "f%d:%d", j, f[j])
+		first = false
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the species observation
+// counts implied by the fingerprint, using the nearest-rank definition. It
+// returns 0 when no species were observed.
+func (f Freq) Quantile(q float64) int {
+	c := f.Species()
+	if c == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(c-1)) + 1
+	var cum int64
+	for j := 1; j < len(f); j++ {
+		cum += f[j]
+		if cum >= rank {
+			return j
+		}
+	}
+	return len(f) - 1
+}
+
+// Counts expands the fingerprint back into a sorted multiset of per-species
+// counts. Useful in tests for round-tripping.
+func (f Freq) Counts() []int {
+	out := make([]int, 0, f.Species())
+	for j := 1; j < len(f); j++ {
+		for k := int64(0); k < f[j]; k++ {
+			out = append(out, j)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,314 @@
+// Package switchstat implements the consensus-switch machinery of Section 4.
+//
+// Problem 2 reframes data-quality estimation: instead of counting dirty
+// items, count how many majority-consensus decisions are still expected to
+// flip. The Tracker ingests the same vote stream as the response matrix and
+// maintains, per Equation 7:
+//
+//   - switch events: (i) a tie in the running votes n⁺_i = n⁻_i flips the
+//     consensus, and (ii) a positive first vote flips the initial "clean"
+//     default;
+//   - the switch species ledger: each switch event is born a singleton, and
+//     every subsequent vote on the item that does not create a new switch
+//     "rediscovers" the item's most recent switch (singleton → doubleton → …);
+//   - the no-op adjustment: votes before an item's first switch confirm the
+//     default label, discover nothing, and are excluded from n_switch
+//     (the paper's n_switch = n − Σ_i (argmin_j{n⁺ ≥ n⁻} − 1));
+//   - the positive/negative split: a flip clean→dirty is a positive switch,
+//     dirty→clean a negative one. Because every item starts clean and the
+//     consensus alternates at each flip, switch signs alternate per item
+//     starting with positive.
+//
+// The paper notes the counting definition admits "various policies (e.g.,
+// tie-breaking)"; Policy selects between the literal Equation-7 rule and a
+// strict-majority-crossing variant used in the ablation benchmarks.
+package switchstat
+
+import (
+	"fmt"
+
+	"dqm/internal/stats"
+	"dqm/internal/votes"
+)
+
+// Policy selects the switch-counting rule.
+type Policy int
+
+const (
+	// PolicyTieFlip is Equation 7 verbatim: a switch is counted at every
+	// running-count tie (and at a positive first vote), and the consensus
+	// state flips there.
+	PolicyTieFlip Policy = iota
+	// PolicyStrictMajority counts a switch only when the strict majority
+	// (n⁺ > n⁻ or n⁻ > n⁺) disagrees with the current consensus state; ties
+	// keep the state. This never counts a tie that immediately reverts.
+	PolicyStrictMajority
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyTieFlip:
+		return "tie-flip"
+	case PolicyStrictMajority:
+		return "strict-majority"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+type itemState struct {
+	pos, neg  int32
+	dirty     bool // current consensus state; items start clean
+	started   bool // true once the first switch happened
+	lastDirty bool // sign of the most recent switch (true = positive switch)
+	lastFreq  int32
+	posEvents int32
+	negEvents int32
+}
+
+// Tracker ingests votes and maintains switch statistics incrementally.
+// All observations are O(1); fingerprint reads are O(max frequency).
+type Tracker struct {
+	policy Policy
+	items  []itemState
+
+	retainLedgers bool
+	ledgers       [][]SwitchEvent
+
+	fPos, fNeg stats.Freq
+
+	totalVotes int64
+	noops      int64
+	posSw      int64
+	negSw      int64
+	cPos       int64 // items with ≥1 positive switch
+	cNeg       int64 // items with ≥1 negative switch
+	cAny       int64 // items with ≥1 switch of either sign
+	cMajority  int64 // items whose strict vote majority is dirty
+}
+
+// Option configures a Tracker.
+type Option func(*Tracker)
+
+// WithPolicy selects the switch-counting rule (default PolicyTieFlip).
+func WithPolicy(p Policy) Option {
+	return func(t *Tracker) { t.policy = p }
+}
+
+// NewTracker creates a tracker over n items, all starting with the default
+// "clean" consensus.
+func NewTracker(n int, opts ...Option) *Tracker {
+	if n < 0 {
+		panic(fmt.Sprintf("switchstat: negative item count %d", n))
+	}
+	t := &Tracker{
+		items: make([]itemState, n),
+		fPos:  stats.Freq{0},
+		fNeg:  stats.Freq{0},
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.retainLedgers {
+		t.ledgers = make([][]SwitchEvent, n)
+	}
+	return t
+}
+
+// NumItems returns the number of tracked items.
+func (t *Tracker) NumItems() int { return len(t.items) }
+
+// Policy returns the active counting rule.
+func (t *Tracker) Policy() Policy { return t.policy }
+
+// Add ingests one vote on item with the given label.
+func (t *Tracker) Add(item int, label votes.Label) {
+	st := &t.items[item]
+	wasMajority := st.pos > st.neg
+	if label == votes.Dirty {
+		st.pos++
+	} else {
+		st.neg++
+	}
+	if isMajority := st.pos > st.neg; isMajority != wasMajority {
+		if isMajority {
+			t.cMajority++
+		} else {
+			t.cMajority--
+		}
+	}
+	t.totalVotes++
+
+	flip := false
+	switch t.policy {
+	case PolicyTieFlip:
+		// Part (ii): a positive first vote flips the clean default.
+		// Part (i): any subsequent tie flips the consensus.
+		n := st.pos + st.neg
+		if n == 1 {
+			flip = label == votes.Dirty
+		} else {
+			flip = st.pos == st.neg
+		}
+	case PolicyStrictMajority:
+		if st.pos > st.neg && !st.dirty {
+			flip = true
+		} else if st.neg > st.pos && st.dirty {
+			flip = true
+		}
+	}
+
+	switch {
+	case flip:
+		t.recordSwitch(item, st)
+	case st.started:
+		t.rediscover(item, st)
+	default:
+		// A vote that confirms the default label before the first switch:
+		// a no-op that contributes to neither the fingerprint nor n_switch.
+		t.noops++
+	}
+}
+
+// AddVote ingests a votes.Vote, ignoring the worker identity (switch
+// statistics are worker-anonymous).
+func (t *Tracker) AddVote(v votes.Vote) { t.Add(v.Item, v.Label) }
+
+func (t *Tracker) recordSwitch(item int, st *itemState) {
+	st.dirty = !st.dirty
+	positive := st.dirty // flipped into dirty ⇒ clean→dirty ⇒ positive switch
+	if !st.started {
+		st.started = true
+		t.cAny++
+	}
+	if positive {
+		t.posSw++
+		st.posEvents++
+		if st.posEvents == 1 {
+			t.cPos++
+		}
+		t.fPos.Add(1, 1)
+	} else {
+		t.negSw++
+		st.negEvents++
+		if st.negEvents == 1 {
+			t.cNeg++
+		}
+		t.fNeg.Add(1, 1)
+	}
+	st.lastDirty = positive
+	st.lastFreq = 1
+	if t.retainLedgers {
+		t.ledgers[item] = append(t.ledgers[item], SwitchEvent{Positive: positive, Freq: 1})
+	}
+}
+
+func (t *Tracker) rediscover(item int, st *itemState) {
+	if st.lastDirty {
+		t.fPos.Promote(int(st.lastFreq))
+	} else {
+		t.fNeg.Promote(int(st.lastFreq))
+	}
+	st.lastFreq++
+	if t.retainLedgers {
+		l := t.ledgers[item]
+		l[len(l)-1].Freq++
+	}
+}
+
+// TotalVotes returns the number of votes ingested.
+func (t *Tracker) TotalVotes() int64 { return t.totalVotes }
+
+// NoOps returns the number of default-confirming votes seen before each
+// item's first switch (the quantity subtracted from n in Section 4.2).
+func (t *Tracker) NoOps() int64 { return t.noops }
+
+// NSwitch returns n_switch = TotalVotes − NoOps, the observation count used
+// by the switch estimator. It equals the total mass of the switch ledger.
+func (t *Tracker) NSwitch() int64 { return t.totalVotes - t.noops }
+
+// Switches returns switch(I), the total number of switch events observed.
+func (t *Tracker) Switches() int64 { return t.posSw + t.negSw }
+
+// PositiveSwitches returns the number of clean→dirty switch events.
+func (t *Tracker) PositiveSwitches() int64 { return t.posSw }
+
+// NegativeSwitches returns the number of dirty→clean switch events.
+func (t *Tracker) NegativeSwitches() int64 { return t.negSw }
+
+// CSwitch returns c_switch = Σ_i 1[switch(I_i) > 0], the number of records
+// with at least one consensus flip.
+func (t *Tracker) CSwitch() int64 { return t.cAny }
+
+// Majority returns c_majority over the ingested votes, the VOTING baseline
+// the switch estimator corrects (Section 4.3).
+func (t *Tracker) Majority() int64 { return t.cMajority }
+
+// CSwitchPositive returns the number of records with ≥1 positive switch.
+func (t *Tracker) CSwitchPositive() int64 { return t.cPos }
+
+// CSwitchNegative returns the number of records with ≥1 negative switch.
+func (t *Tracker) CSwitchNegative() int64 { return t.cNeg }
+
+// Fingerprint returns the f′-statistics over all switch species (positive
+// and negative merged).
+func (t *Tracker) Fingerprint() stats.Freq {
+	a, b := t.fPos, t.fNeg
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := a.Clone()
+	for j := 1; j < len(b); j++ {
+		if b[j] != 0 {
+			out.Add(j, b[j])
+		}
+	}
+	return out
+}
+
+// FingerprintPositive returns the f′-statistics over positive switches only.
+func (t *Tracker) FingerprintPositive() stats.Freq { return t.fPos.Clone() }
+
+// FingerprintNegative returns the f′-statistics over negative switches only.
+func (t *Tracker) FingerprintNegative() stats.Freq { return t.fNeg.Clone() }
+
+// Consensus reports the tracker's consensus state for item i (true = dirty).
+// Under PolicyStrictMajority this coincides with the strict majority with
+// sticky ties; under PolicyTieFlip it is the Equation-7 state machine.
+func (t *Tracker) Consensus(item int) bool { return t.items[item].dirty }
+
+// ItemSwitches returns the number of switch events observed on item i.
+func (t *Tracker) ItemSwitches(item int) int {
+	st := &t.items[item]
+	return int(st.posEvents + st.negEvents)
+}
+
+// Reset clears all state without reallocating.
+func (t *Tracker) Reset() {
+	for i := range t.items {
+		t.items[i] = itemState{}
+	}
+	if t.retainLedgers {
+		for i := range t.ledgers {
+			t.ledgers[i] = t.ledgers[i][:0]
+		}
+	}
+	t.fPos, t.fNeg = stats.Freq{0}, stats.Freq{0}
+	t.totalVotes, t.noops = 0, 0
+	t.posSw, t.negSw = 0, 0
+	t.cPos, t.cNeg, t.cAny, t.cMajority = 0, 0, 0, 0
+}
+
+// CountSwitches replays a full vote history and returns switch(I) for it,
+// the closed-form of Equation 7. It is the reference implementation used by
+// tests to validate the incremental tracker.
+func CountSwitches(histories [][]votes.Label, policy Policy) int64 {
+	t := NewTracker(len(histories), WithPolicy(policy))
+	for i, h := range histories {
+		for _, l := range h {
+			t.Add(i, l)
+		}
+	}
+	return t.Switches()
+}

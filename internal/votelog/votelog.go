@@ -1,0 +1,192 @@
+// Package votelog reads and writes worker-vote logs, the interchange format
+// between the CLI tools: cmd/dqm-gen emits logs from simulated crowds and
+// cmd/dqm estimates from them (or from logs of a real crowd deployment).
+//
+// Two encodings are supported:
+//
+//   - CSV with header "task,item,worker,label"; label is "dirty"/"clean"
+//     (or "1"/"0").
+//   - JSONL with one {"task":…,"item":…,"worker":…,"dirty":…} object per
+//     line.
+//
+// Entries must be grouped by task id in file order; the task id marks the
+// task boundaries the SWITCH trend detector needs.
+package votelog
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dqm/internal/crowd"
+	"dqm/internal/votes"
+)
+
+// Entry is one logged vote.
+type Entry struct {
+	Task   int  `json:"task"`
+	Item   int  `json:"item"`
+	Worker int  `json:"worker"`
+	Dirty  bool `json:"dirty"`
+}
+
+// FromTasks flattens simulated crowd tasks into log entries with sequential
+// task ids.
+func FromTasks(tasks []crowd.Task) []Entry {
+	var out []Entry
+	for ti, t := range tasks {
+		for i, item := range t.Items {
+			out = append(out, Entry{
+				Task:   ti,
+				Item:   item,
+				Worker: t.Worker,
+				Dirty:  t.Labels[i] == votes.Dirty,
+			})
+		}
+	}
+	return out
+}
+
+// Replay feeds entries into vote and boundary callbacks, calling endTask at
+// every task-id change and after the final entry. Either callback may be
+// nil.
+func Replay(entries []Entry, vote func(Entry), endTask func()) {
+	for i, e := range entries {
+		if i > 0 && entries[i-1].Task != e.Task && endTask != nil {
+			endTask()
+		}
+		if vote != nil {
+			vote(e)
+		}
+	}
+	if len(entries) > 0 && endTask != nil {
+		endTask()
+	}
+}
+
+// MaxItem returns the largest item id in the log, or -1 for an empty log.
+func MaxItem(entries []Entry) int {
+	maxI := -1
+	for _, e := range entries {
+		if e.Item > maxI {
+			maxI = e.Item
+		}
+	}
+	return maxI
+}
+
+// WriteCSV encodes entries as CSV with a header row.
+func WriteCSV(w io.Writer, entries []Entry) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"task", "item", "worker", "label"}); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		label := "clean"
+		if e.Dirty {
+			label = "dirty"
+		}
+		rec := []string{
+			strconv.Itoa(e.Task), strconv.Itoa(e.Item), strconv.Itoa(e.Worker), label,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a CSV vote log. A header row is detected and skipped.
+func ReadCSV(r io.Reader) ([]Entry, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	var out []Entry
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("votelog: %w", err)
+		}
+		line++
+		if line == 1 && rec[0] == "task" {
+			continue
+		}
+		e, err := parseCSVRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("votelog: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+}
+
+func parseCSVRecord(rec []string) (Entry, error) {
+	var e Entry
+	var err error
+	if e.Task, err = strconv.Atoi(rec[0]); err != nil {
+		return e, fmt.Errorf("bad task id %q", rec[0])
+	}
+	if e.Item, err = strconv.Atoi(rec[1]); err != nil {
+		return e, fmt.Errorf("bad item id %q", rec[1])
+	}
+	if e.Worker, err = strconv.Atoi(rec[2]); err != nil {
+		return e, fmt.Errorf("bad worker id %q", rec[2])
+	}
+	switch rec[3] {
+	case "dirty", "1":
+		e.Dirty = true
+	case "clean", "0":
+		e.Dirty = false
+	default:
+		return e, fmt.Errorf("bad label %q (want dirty/clean/1/0)", rec[3])
+	}
+	if e.Item < 0 {
+		return e, fmt.Errorf("negative item id %d", e.Item)
+	}
+	return e, nil
+}
+
+// WriteJSONL encodes entries as one JSON object per line.
+func WriteJSONL(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a JSONL vote log, skipping blank lines.
+func ReadJSONL(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Entry
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("votelog: line %d: %w", line, err)
+		}
+		if e.Item < 0 {
+			return nil, fmt.Errorf("votelog: line %d: negative item id %d", line, e.Item)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("votelog: %w", err)
+	}
+	return out, nil
+}

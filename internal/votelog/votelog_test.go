@@ -1,0 +1,206 @@
+package votelog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dqm/internal/crowd"
+	"dqm/internal/votes"
+)
+
+func sampleEntries() []Entry {
+	return []Entry{
+		{Task: 0, Item: 3, Worker: 1, Dirty: true},
+		{Task: 0, Item: 5, Worker: 1, Dirty: false},
+		{Task: 1, Item: 3, Worker: 2, Dirty: false},
+		{Task: 2, Item: 7, Worker: 3, Dirty: true},
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := sampleEntries()
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip %d entries, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("entry %d: %v != %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := sampleEntries()
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip %d entries", len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("entry %d: %v != %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestReadCSVNumericLabels(t *testing.T) {
+	src := "task,item,worker,label\n0,1,2,1\n0,3,2,0\n"
+	out, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Dirty || out[1].Dirty {
+		t.Fatalf("numeric labels parsed wrong: %v", out)
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	src := "0,1,2,dirty\n"
+	out, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !out[0].Dirty {
+		t.Fatalf("headerless parse = %v", out)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad label":     "0,1,2,maybe\n",
+		"bad task":      "x,1,2,dirty\n",
+		"bad item":      "0,x,2,dirty\n",
+		"bad worker":    "0,1,x,dirty\n",
+		"negative item": "0,-1,2,dirty\n",
+		"short row":     "0,1,2\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"task":0,"item":-2,"worker":0,"dirty":true}` + "\n")); err == nil {
+		t.Fatal("negative item accepted")
+	}
+	out, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("blank lines: %v, %v", out, err)
+	}
+}
+
+func TestReplayBoundaries(t *testing.T) {
+	var items []int
+	taskEnds := 0
+	Replay(sampleEntries(),
+		func(e Entry) { items = append(items, e.Item) },
+		func() { taskEnds++ })
+	if len(items) != 4 {
+		t.Fatalf("replayed %d votes", len(items))
+	}
+	// Three tasks in the sample → three boundaries (incl. the final one).
+	if taskEnds != 3 {
+		t.Fatalf("task boundaries = %d, want 3", taskEnds)
+	}
+	// Nil callbacks are tolerated.
+	Replay(sampleEntries(), nil, nil)
+	// Empty input produces no callbacks.
+	calls := 0
+	Replay(nil, func(Entry) { calls++ }, func() { calls++ })
+	if calls != 0 {
+		t.Fatalf("empty replay made %d calls", calls)
+	}
+}
+
+func TestMaxItem(t *testing.T) {
+	if got := MaxItem(sampleEntries()); got != 7 {
+		t.Fatalf("MaxItem = %d", got)
+	}
+	if got := MaxItem(nil); got != -1 {
+		t.Fatalf("MaxItem(nil) = %d", got)
+	}
+}
+
+func TestFromTasks(t *testing.T) {
+	tasks := []crowd.Task{
+		{Worker: 1, Items: []int{2, 3}, Labels: []votes.Label{votes.Dirty, votes.Clean}},
+		{Worker: 2, Items: []int{4}, Labels: []votes.Label{votes.Dirty}},
+	}
+	entries := FromTasks(tasks)
+	if len(entries) != 3 {
+		t.Fatalf("entries = %v", entries)
+	}
+	if entries[0] != (Entry{Task: 0, Item: 2, Worker: 1, Dirty: true}) {
+		t.Fatalf("entry 0 = %v", entries[0])
+	}
+	if entries[2] != (Entry{Task: 1, Item: 4, Worker: 2, Dirty: true}) {
+		t.Fatalf("entry 2 = %v", entries[2])
+	}
+}
+
+func TestCSVHeaderOnly(t *testing.T) {
+	out, err := ReadCSV(strings.NewReader("task,item,worker,label\n"))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("header-only: %v, %v", out, err)
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	// Arbitrary well-formed entry lists survive a CSV round trip.
+	prop := func(raw []uint32) bool {
+		entries := make([]Entry, len(raw))
+		task := 0
+		for i, r := range raw {
+			if r%5 == 0 {
+				task++
+			}
+			entries[i] = Entry{
+				Task:   task,
+				Item:   int(r % 1000),
+				Worker: int(r % 37),
+				Dirty:  r%2 == 0,
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, entries); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(entries) {
+			return false
+		}
+		for i := range entries {
+			if back[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package votes implements the worker-response matrix I of Problem 1: an
+// N×K matrix with entries {1, 0, ∅} denoting dirty, clean and unseen. The
+// matrix is ingested incrementally, one vote at a time, in task order; it
+// maintains the aggregates every estimator in the paper consumes:
+//
+//   - n⁺_i, n⁻_i    per-item positive/negative vote counts
+//   - c_nominal     #items marked dirty by at least one worker (§2.2.1)
+//   - c_majority    #items whose strict majority is dirty (§2.2.2)
+//   - n⁺            total positive votes (the n of the Chao92 error estimate)
+//   - f-statistics  f_j = #items with exactly j positive votes (§3.2)
+//
+// The full per-item vote sequences are retained so that the switch machinery
+// (package switchstat) and permutation replays can be driven from one source
+// of truth.
+package votes
+
+import (
+	"fmt"
+
+	"dqm/internal/stats"
+)
+
+// Label is a single worker judgment about one item.
+type Label uint8
+
+const (
+	// Clean is a vote that the item is not erroneous (matrix entry 0).
+	Clean Label = iota
+	// Dirty is a vote that the item is erroneous (matrix entry 1).
+	Dirty
+)
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	switch l {
+	case Clean:
+		return "clean"
+	case Dirty:
+		return "dirty"
+	default:
+		return fmt.Sprintf("Label(%d)", uint8(l))
+	}
+}
+
+// Vote is one observed matrix entry: worker w judged item i.
+type Vote struct {
+	Item   int
+	Worker int
+	Label  Label
+}
+
+// itemState is the per-row aggregate of the matrix.
+type itemState struct {
+	pos, neg int32
+}
+
+func (s itemState) total() int32 { return s.pos + s.neg }
+
+// majorityDirty reports whether the strict majority of votes marks the item
+// dirty: n⁺ − n/2 > 0 ⇔ n⁺ > n⁻ (ties are not a dirty majority).
+func (s itemState) majorityDirty() bool { return s.pos > s.neg }
+
+// Matrix is the incrementally built worker-response matrix.
+//
+// The zero value is not ready for use; construct with NewMatrix.
+type Matrix struct {
+	n     int
+	items []itemState
+	// history holds per-item vote sequences in arrival order.
+	history [][]Vote
+	// retainHistory can be disabled for long simulations that only need
+	// aggregates (the switch estimator maintains its own streaming state).
+	retainHistory bool
+
+	workers   map[int]struct{}
+	votes     int64
+	posVotes  int64
+	cNominal  int64
+	cMajority int64
+	// fpos tracks f_j over positive-vote counts incrementally, so that
+	// DirtyFingerprint is O(1) amortized rather than O(N) per estimate.
+	fpos stats.Freq
+}
+
+// Option configures a Matrix.
+type Option func(*Matrix)
+
+// WithoutHistory disables retention of per-item vote sequences. Aggregates
+// (counts, fingerprints, majority) remain exact.
+func WithoutHistory() Option {
+	return func(m *Matrix) { m.retainHistory = false }
+}
+
+// NewMatrix creates a matrix over n items, all initially unseen.
+func NewMatrix(n int, opts ...Option) *Matrix {
+	if n < 0 {
+		panic(fmt.Sprintf("votes: negative item count %d", n))
+	}
+	m := &Matrix{
+		n:             n,
+		items:         make([]itemState, n),
+		history:       make([][]Vote, n),
+		retainHistory: true,
+		workers:       make(map[int]struct{}),
+		fpos:          stats.Freq{0},
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if !m.retainHistory {
+		m.history = nil
+	}
+	return m
+}
+
+// NumItems returns N.
+func (m *Matrix) NumItems() int { return m.n }
+
+// NumWorkers returns the number of distinct workers seen so far (K).
+func (m *Matrix) NumWorkers() int { return len(m.workers) }
+
+// TotalVotes returns the number of non-∅ entries ingested.
+func (m *Matrix) TotalVotes() int64 { return m.votes }
+
+// PositiveVotes returns n⁺ = Σ_i n⁺_i.
+func (m *Matrix) PositiveVotes() int64 { return m.posVotes }
+
+// Add ingests one vote. It panics on an out-of-range item, mirroring slice
+// semantics: vote streams are produced by this repository's own simulators
+// and loaders, which validate input at the boundary.
+func (m *Matrix) Add(v Vote) {
+	st := &m.items[v.Item]
+	wasNominal := st.pos > 0
+	wasMajority := st.majorityDirty()
+
+	if v.Label == Dirty {
+		// Maintain the positive-vote fingerprint: the item moves from class
+		// n⁺ to class n⁺+1.
+		if st.pos > 0 {
+			m.fpos.Promote(int(st.pos))
+		} else {
+			m.fpos.Add(1, 1)
+		}
+		st.pos++
+		m.posVotes++
+		if !wasNominal {
+			m.cNominal++
+		}
+	} else {
+		st.neg++
+	}
+	m.votes++
+	m.workers[v.Worker] = struct{}{}
+
+	if isMajority := st.majorityDirty(); isMajority != wasMajority {
+		if isMajority {
+			m.cMajority++
+		} else {
+			m.cMajority--
+		}
+	}
+	if m.retainHistory {
+		m.history[v.Item] = append(m.history[v.Item], v)
+	}
+}
+
+// AddAll ingests votes in order.
+func (m *Matrix) AddAll(vs []Vote) {
+	for _, v := range vs {
+		m.Add(v)
+	}
+}
+
+// Pos returns n⁺_i.
+func (m *Matrix) Pos(item int) int { return int(m.items[item].pos) }
+
+// Neg returns n⁻_i.
+func (m *Matrix) Neg(item int) int { return int(m.items[item].neg) }
+
+// Seen returns the number of votes item i has received.
+func (m *Matrix) Seen(item int) int { return int(m.items[item].total()) }
+
+// MajorityDirty reports the current strict-majority consensus for item i.
+func (m *Matrix) MajorityDirty(item int) bool { return m.items[item].majorityDirty() }
+
+// Nominal returns c_nominal = Σ_i 1[n⁺_i > 0] (§2.2.1).
+func (m *Matrix) Nominal() int64 { return m.cNominal }
+
+// Majority returns c_majority = Σ_i 1[n⁺_i − n_i/2 > 0] (§2.2.2).
+func (m *Matrix) Majority() int64 { return m.cMajority }
+
+// DirtyFingerprint returns the f-statistics over positive votes: f_j is the
+// number of items marked dirty by exactly j workers. The returned slice is a
+// copy and safe to retain.
+func (m *Matrix) DirtyFingerprint() stats.Freq { return m.fpos.Clone() }
+
+// History returns the vote sequence of item i in arrival order. The returned
+// slice aliases internal storage and must not be modified. It returns nil
+// when history retention is disabled.
+func (m *Matrix) History(item int) []Vote {
+	if !m.retainHistory {
+		return nil
+	}
+	return m.history[item]
+}
+
+// MajorityVector materializes the current consensus vector V ∈ {0,1}^N of
+// Problem 2 (true = dirty).
+func (m *Matrix) MajorityVector() []bool {
+	out := make([]bool, m.n)
+	for i := range m.items {
+		out[i] = m.items[i].majorityDirty()
+	}
+	return out
+}
+
+// Coverage returns the fraction of items with at least one vote.
+func (m *Matrix) Coverage() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	seen := 0
+	for i := range m.items {
+		if m.items[i].total() > 0 {
+			seen++
+		}
+	}
+	return float64(seen) / float64(m.n)
+}
+
+// Reset clears the matrix back to all-unseen without reallocating.
+func (m *Matrix) Reset() {
+	for i := range m.items {
+		m.items[i] = itemState{}
+	}
+	if m.retainHistory {
+		for i := range m.history {
+			m.history[i] = m.history[i][:0]
+		}
+	}
+	m.workers = make(map[int]struct{})
+	m.votes, m.posVotes, m.cNominal, m.cMajority = 0, 0, 0, 0
+	m.fpos = stats.Freq{0}
+}
