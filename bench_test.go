@@ -187,12 +187,79 @@ func BenchmarkLevenshtein(b *testing.B) {
 	}
 }
 
+func BenchmarkEditSimilarityAtLeast(b *testing.B) {
+	a := "ritz carlton cafe buckhead atlanta"
+	c := "totally different product listing"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = similarity.EditSimilarityAtLeast(a, c, 0.5)
+	}
+}
+
 func BenchmarkTokenSortedEditSimilarity(b *testing.B) {
 	a := "Adobe Photoshop Elements 5.0 Deluxe"
 	c := "photoshop elements deluxe 5.0 adobe"
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = similarity.TokenSortedEditSimilarity(a, c)
+	}
+}
+
+// benchRunConfig assembles the permutation-replay workload the parallelism
+// benchmarks share: the restaurant population with the paper's r=10 replays.
+func benchRunConfig(parallelism int) experiment.RunConfig {
+	pop := dataset.RestaurantCandidates(1)
+	sim := crowd.NewSimulator(crowd.Config{
+		Truth:        pop.Truth.IsDirty,
+		N:            pop.N(),
+		Profile:      crowd.Profile{FPRate: 0.05, FNRate: 0.25, Jitter: 0.25},
+		ItemsPerTask: 10,
+		Seed:         1,
+	})
+	return experiment.RunConfig{
+		Population:   pop,
+		Tasks:        sim.Tasks(200),
+		Permutations: 10,
+		Seed:         1,
+		Parallelism:  parallelism,
+	}
+}
+
+// BenchmarkRunSequential and BenchmarkRunParallel measure the replay engine
+// with a single worker and with one worker per core; their ratio is the
+// parallel speedup (1.0 on single-core machines).
+func BenchmarkRunSequential(b *testing.B) {
+	cfg := benchRunConfig(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Run(cfg)
+	}
+}
+
+func BenchmarkRunParallel(b *testing.B) {
+	cfg := benchRunConfig(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Run(cfg)
+	}
+}
+
+func BenchmarkCrowdSimulatorAppendTask(b *testing.B) {
+	pop := dataset.SimulationPopulation(1)
+	sim := crowd.NewSimulator(crowd.Config{
+		Truth:        pop.Truth.IsDirty,
+		N:            pop.N(),
+		Profile:      crowd.Profile{FPRate: 0.01, FNRate: 0.1},
+		ItemsPerTask: 15,
+		Seed:         1,
+	})
+	var buf []votes.Vote
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = sim.AppendTask(buf[:0])
 	}
 }
 

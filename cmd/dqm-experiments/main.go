@@ -7,6 +7,10 @@
 //	dqm-experiments -figure all                 # print every figure as a table
 //	dqm-experiments -figure 3 -seed 7 -r 10     # Figure 3 panels a-c
 //	dqm-experiments -figure 6a -csv out/        # also write out/fig6a.csv
+//	dqm-experiments -figure 4 -parallel 8       # replay permutations on 8 workers
+//
+// The -parallel flag only changes wall time: permutation replays are
+// deterministic for any worker count.
 //
 // See EXPERIMENTS.md for the paper-vs-measured record produced from these
 // runs.
@@ -32,17 +36,18 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dqm-experiments", flag.ContinueOnError)
 	var (
-		figure = fs.String("figure", "all", "figure id or 'all'; known ids: "+fmt.Sprint(experiment.IDs()))
-		seed   = fs.Uint64("seed", 42, "random seed")
-		perms  = fs.Int("r", 10, "permutations to average over (the paper's r)")
-		scale  = fs.Float64("scale", 1, "task-count scale factor (reduce for quick runs)")
-		csvDir = fs.String("csv", "", "directory to also write per-figure CSV files")
+		figure   = fs.String("figure", "all", "figure id or 'all'; known ids: "+fmt.Sprint(experiment.IDs()))
+		seed     = fs.Uint64("seed", 42, "random seed")
+		perms    = fs.Int("r", 10, "permutations to average over (the paper's r)")
+		scale    = fs.Float64("scale", 1, "task-count scale factor (reduce for quick runs)")
+		parallel = fs.Int("parallel", 0, "permutation-replay workers (0 = all cores; results are identical for any value)")
+		csvDir   = fs.String("csv", "", "directory to also write per-figure CSV files")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := experiment.Options{Seed: *seed, Permutations: *perms, TaskScale: *scale}
+	opts := experiment.Options{Seed: *seed, Permutations: *perms, TaskScale: *scale, Parallelism: *parallel}
 	ids := []string{*figure}
 	if *figure == "all" {
 		ids = experiment.IDs()

@@ -53,3 +53,19 @@ func TestRunMultiPanelFigure(t *testing.T) {
 		}
 	}
 }
+
+// TestRunParallelFlagDeterministic: the -parallel flag must not change the
+// rendered tables, only how many goroutines replay permutations.
+func TestRunParallelFlagDeterministic(t *testing.T) {
+	render := func(parallel string) string {
+		var sb strings.Builder
+		err := run([]string{"-figure", "7b", "-r", "4", "-scale", "0.1", "-parallel", parallel}, &sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if one, many := render("1"), render("8"); one != many {
+		t.Fatalf("-parallel changed output:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s", one, many)
+	}
+}

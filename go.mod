@@ -1,0 +1,3 @@
+module dqm
+
+go 1.22

@@ -113,11 +113,17 @@ type Task struct {
 
 // Votes converts the task to matrix entries.
 func (t Task) Votes() []votes.Vote {
-	out := make([]votes.Vote, len(t.Items))
+	return t.AppendVotes(make([]votes.Vote, 0, len(t.Items)))
+}
+
+// AppendVotes appends the task's matrix entries to dst and returns the
+// extended slice. Replay loops pass a reused buffer (dst[:0]) to keep the
+// per-task hot path allocation-free.
+func (t Task) AppendVotes(dst []votes.Vote) []votes.Vote {
 	for i, item := range t.Items {
-		out[i] = votes.Vote{Item: item, Worker: t.Worker, Label: t.Labels[i]}
+		dst = append(dst, votes.Vote{Item: item, Worker: t.Worker, Label: t.Labels[i]})
 	}
-	return out
+	return dst
 }
 
 // Sampler picks the items for one task. heuristic.EpsilonSampler satisfies
@@ -167,8 +173,9 @@ type Simulator struct {
 	sampler Sampler
 	rng     *xrand.RNG
 	taskSeq int
-	// tasksDone counts completed tasks per worker for the fatigue model.
-	tasksDone map[int]int
+	// tasksDone counts completed tasks per worker for the fatigue model,
+	// indexed by worker ID (pool workers are densely numbered).
+	tasksDone []int
 }
 
 // NewSimulator validates the config and prepares the worker pool.
@@ -191,7 +198,7 @@ func NewSimulator(cfg Config) *Simulator {
 		cfg:       cfg,
 		pool:      NewPool(poolSize, cfg.Profile, root.SplitNamed("pool")),
 		rng:       root.SplitNamed("stream"),
-		tasksDone: make(map[int]int),
+		tasksDone: make([]int, poolSize),
 	}
 	if cfg.Sampler != nil {
 		s.sampler = cfg.Sampler
@@ -205,17 +212,17 @@ func NewSimulator(cfg Config) *Simulator {
 // builder).
 func (s *Simulator) Pool() *Pool { return s.pool }
 
-// NextTask draws a worker and a fresh item sample and synthesizes the
-// worker's labels.
-func (s *Simulator) NextTask() Task {
+// nextDraws makes the per-task random draws in the canonical order (worker,
+// item sample, one response per item). NextTask and AppendTask share it so
+// both paths consume identical RNG streams.
+func (s *Simulator) nextDraws(respond func(worker, item int, label votes.Label)) (worker int, items []int) {
 	w := s.pool.Pick(s.rng)
 	fatigue := 1.0
 	if f := s.cfg.Profile.Fatigue; f > 0 {
 		fatigue = 1 + f*float64(s.tasksDone[w.ID])
 	}
-	items := s.sampler.Draw(s.cfg.ItemsPerTask)
-	labels := make([]votes.Label, len(items))
-	for i, item := range items {
+	items = s.sampler.Draw(s.cfg.ItemsPerTask)
+	for _, item := range items {
 		fnD, fpD := fatigue, fatigue
 		if s.cfg.Difficulty != nil {
 			fnD *= s.cfg.Difficulty(item)
@@ -223,11 +230,32 @@ func (s *Simulator) NextTask() Task {
 		if s.cfg.FPDifficulty != nil {
 			fpD *= s.cfg.FPDifficulty(item)
 		}
-		labels[i] = w.Respond(s.rng, s.cfg.Truth(item), fnD, fpD)
+		respond(w.ID, item, w.Respond(s.rng, s.cfg.Truth(item), fnD, fpD))
 	}
 	s.taskSeq++
 	s.tasksDone[w.ID]++
-	return Task{Worker: w.ID, Items: items, Labels: labels}
+	return w.ID, items
+}
+
+// NextTask draws a worker and a fresh item sample and synthesizes the
+// worker's labels.
+func (s *Simulator) NextTask() Task {
+	labels := make([]votes.Label, 0, s.cfg.ItemsPerTask)
+	worker, items := s.nextDraws(func(_, _ int, l votes.Label) {
+		labels = append(labels, l)
+	})
+	return Task{Worker: worker, Items: items, Labels: labels}
+}
+
+// AppendTask synthesizes the next task directly as matrix entries appended
+// to dst, returning the extended slice. It draws exactly the same random
+// stream as NextTask but lets callers that only need the votes reuse one
+// buffer across tasks.
+func (s *Simulator) AppendTask(dst []votes.Vote) []votes.Vote {
+	s.nextDraws(func(worker, item int, l votes.Label) {
+		dst = append(dst, votes.Vote{Item: item, Worker: worker, Label: l})
+	})
+	return dst
 }
 
 // Tasks generates n tasks.

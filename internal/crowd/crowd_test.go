@@ -395,3 +395,51 @@ func TestFatigueDegradesWorkers(t *testing.T) {
 		t.Fatalf("no-fatigue control drifted: early %v, late %v", earlyN, lateN)
 	}
 }
+
+// TestAppendTaskMatchesNextTask: both task paths must consume the identical
+// RNG stream, so two simulators with the same seed produce the same votes
+// whichever API drives them.
+func TestAppendTaskMatchesNextTask(t *testing.T) {
+	mkSim := func() *Simulator {
+		return NewSimulator(Config{
+			Truth:        func(i int) bool { return i%7 == 0 },
+			N:            100,
+			Profile:      Profile{FPRate: 0.05, FNRate: 0.2, Jitter: 0.3, Fatigue: 0.01},
+			ItemsPerTask: 6,
+			PoolSize:     5,
+			Seed:         99,
+		})
+	}
+	a, b := mkSim(), mkSim()
+	var buf []votes.Vote
+	for i := 0; i < 50; i++ {
+		want := a.NextTask().Votes()
+		buf = b.AppendTask(buf[:0])
+		if len(buf) != len(want) {
+			t.Fatalf("task %d: %d votes vs %d", i, len(buf), len(want))
+		}
+		for j := range want {
+			if buf[j] != want[j] {
+				t.Fatalf("task %d vote %d: %+v vs %+v", i, j, buf[j], want[j])
+			}
+		}
+	}
+}
+
+// TestAppendVotesReusesBuffer: AppendVotes must append in place without
+// clobbering prior contents.
+func TestAppendVotesReusesBuffer(t *testing.T) {
+	task := Task{Worker: 3, Items: []int{4, 5}, Labels: []votes.Label{votes.Dirty, votes.Clean}}
+	buf := make([]votes.Vote, 0, 8)
+	buf = task.AppendVotes(buf)
+	buf = task.AppendVotes(buf)
+	if len(buf) != 4 {
+		t.Fatalf("buffer length %d, want 4", len(buf))
+	}
+	if buf[0] != (votes.Vote{Item: 4, Worker: 3, Label: votes.Dirty}) {
+		t.Fatalf("first vote %+v", buf[0])
+	}
+	if buf[2] != buf[0] || buf[3] != buf[1] {
+		t.Fatal("second append does not repeat the task's votes")
+	}
+}

@@ -68,7 +68,9 @@ func Chao92(m *votes.Matrix, opts ...Chao92Option) float64 {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	in := stats.Chao92Input{C: m.Nominal(), F: m.DirtyFingerprint(), N: m.PositiveVotes()}
+	// The input fingerprint is read in place: the Chao92 family never
+	// mutates F, and the estimate is computed before the matrix can move.
+	in := stats.Chao92Input{C: m.Nominal(), F: m.DirtyFingerprintView(), N: m.PositiveVotes()}
 	if cfg.skew {
 		return stats.Chao92(in).Estimate
 	}
@@ -93,7 +95,7 @@ func VChao92(m *votes.Matrix, cfg VChao92Config) float64 {
 	if cfg.Shift < 0 {
 		panic(fmt.Sprintf("estimator: negative vChao92 shift %d", cfg.Shift))
 	}
-	f := m.DirtyFingerprint()
+	f := m.DirtyFingerprintView()
 	shifted := f.Shift(cfg.Shift)
 	n := m.PositiveVotes()
 	if cfg.MassAdjust {
@@ -221,6 +223,9 @@ type SwitchEstimator struct {
 	// the ξ⁺ and ξ⁻ corrections (§4.3 commits to one side per dataset once
 	// the majority trend is established).
 	lastTrend Trend
+	// mergedScratch is the reusable buffer for the merged switch
+	// fingerprint, so Estimate stays allocation-free in steady state.
+	mergedScratch stats.Freq
 }
 
 // NewSwitch creates a SWITCH estimator over n items.
@@ -326,12 +331,13 @@ func (e *SwitchEstimator) Estimate() SwitchEstimate {
 	tr := e.tracker
 	maj := float64(tr.Majority())
 
-	dPos := e.signEstimate(tr.CSwitchPositive(), tr.FingerprintPositive(), tr.PositiveSwitches())
-	dNeg := e.signEstimate(tr.CSwitchNegative(), tr.FingerprintNegative(), tr.NegativeSwitches())
+	dPos := e.signEstimate(tr.CSwitchPositive(), tr.FingerprintPositiveView(), tr.PositiveSwitches())
+	dNeg := e.signEstimate(tr.CSwitchNegative(), tr.FingerprintNegativeView(), tr.NegativeSwitches())
 	xiPos := math.Max(0, dPos-float64(tr.PositiveSwitches()))
 	xiNeg := math.Max(0, dNeg-float64(tr.NegativeSwitches()))
 
-	dAll := e.signEstimate(tr.CSwitch(), tr.Fingerprint(), tr.Switches())
+	e.mergedScratch = tr.FingerprintInto(e.mergedScratch)
+	dAll := e.signEstimate(tr.CSwitch(), e.mergedScratch, tr.Switches())
 	xiAll := math.Max(0, dAll-float64(tr.Switches()))
 
 	trend := e.trend()

@@ -37,6 +37,11 @@ type SuiteConfig struct {
 	Switch SwitchConfig
 	// CapToPopulation clamps all species estimates into [0, N].
 	CapToPopulation bool
+	// WithoutHistory disables per-item vote history retention in the matrix.
+	// Aggregates (and therefore every estimate) are unaffected; only
+	// consumers of Matrix.History (e.g. quality.EM) need it. The permutation
+	// replay engine sets this to keep its hot path allocation-free.
+	WithoutHistory bool
 }
 
 // NewSuite creates a suite over n items.
@@ -45,8 +50,12 @@ func NewSuite(n int, cfg SuiteConfig) *Suite {
 		cfg.VChao92.Shift = 1
 	}
 	cfg.Switch.CapToPopulation = cfg.Switch.CapToPopulation || cfg.CapToPopulation
+	var mopts []votes.Option
+	if cfg.WithoutHistory {
+		mopts = append(mopts, votes.WithoutHistory())
+	}
 	return &Suite{
-		Matrix: votes.NewMatrix(n),
+		Matrix: votes.NewMatrix(n, mopts...),
 		Switch: NewSwitch(n, cfg.Switch),
 		vcfg:   cfg.VChao92,
 		cap:    cfg.CapToPopulation,

@@ -58,6 +58,7 @@ func AblationSwitch(opts Options) *Figure {
 			Checkpoints:  []int{nTasks},
 			Permutations: opts.perms(),
 			Seed:         opts.Seed,
+			Parallelism:  opts.Parallelism,
 			Suite:        estimator.SuiteConfig{Switch: v.cfg},
 		})
 		fig.Consts = append(fig.Consts, Constant{
@@ -99,6 +100,7 @@ func AblationVChao(opts Options) *Figure {
 				Checkpoints:  []int{nTasks},
 				Permutations: opts.perms(),
 				Seed:         opts.Seed,
+				Parallelism:  opts.Parallelism,
 				Suite: estimator.SuiteConfig{
 					VChao92: estimator.VChao92Config{Shift: s, MassAdjust: massAdjust},
 				},
@@ -127,10 +129,10 @@ func AblationVChao(opts Options) *Figure {
 // are task-order independent, so a single replay suffices.
 func vchaoSRMSEDirect(pop *dataset.Population, tasks []crowd.Task, cfg estimator.VChao92Config, opts Options) float64 {
 	m := votes.NewMatrix(pop.N(), votes.WithoutHistory())
+	var buf []votes.Vote
 	for _, t := range tasks {
-		for _, v := range t.Votes() {
-			m.Add(v)
-		}
+		buf = t.AppendVotes(buf[:0])
+		m.AddAll(buf)
 	}
 	return stats.SRMSE([]float64{estimator.VChao92(m, cfg)}, float64(pop.NumDirty()))
 }
@@ -149,10 +151,10 @@ func AblationBaselines(opts Options) *Figure {
 		Seed:         opts.Seed,
 	})
 	m := votes.NewMatrix(pop.N(), votes.WithoutHistory())
+	var buf []votes.Vote
 	for _, t := range sim.Tasks(nTasks) {
-		for _, v := range t.Votes() {
-			m.Add(v)
-		}
+		buf = t.AppendVotes(buf[:0])
+		m.AddAll(buf)
 	}
 	f := m.DirtyFingerprint()
 	in := stats.Chao92Input{C: m.Nominal(), F: f, N: m.PositiveVotes()}

@@ -56,6 +56,7 @@ func ExtAlgorithmic(opts Options) *Figure {
 		Tasks:        tasks,
 		Permutations: opts.perms(),
 		Seed:         opts.Seed,
+		Parallelism:  opts.Parallelism,
 		Suite: estimator.SuiteConfig{
 			Switch: estimator.SwitchConfig{CapToPopulation: true},
 		},
@@ -119,10 +120,10 @@ func ExtQuality(opts Options) *Figure {
 		majErrs, emErrs, kappaSeries []float64
 	)
 	next := 0
+	var buf []votes.Vote
 	for ti, task := range sim.Tasks(nTasks) {
-		for _, v := range task.Votes() {
-			m.Add(v)
-		}
+		buf = task.AppendVotes(buf[:0])
+		m.AddAll(buf)
 		if next < len(checkpoints) && ti+1 == checkpoints[next] {
 			next++
 			res, err := quality.EM(m, quality.EMConfig{})
@@ -188,6 +189,7 @@ func ExtFatigue(opts Options) *Figure {
 			Tasks:        sim.Tasks(nTasks),
 			Permutations: opts.perms(),
 			Seed:         opts.Seed,
+			Parallelism:  opts.Parallelism,
 		})
 	}
 	fresh := run(0)
@@ -244,9 +246,11 @@ func ExtRedundancy(opts Options) *Figure {
 	random := sim.Tasks(len(quorum))
 
 	score := func(tasks []crowd.Task) (majorityErrs float64, switchErr float64) {
-		suite := estimator.NewSuite(n, estimator.SuiteConfig{})
+		suite := estimator.NewSuite(n, estimator.SuiteConfig{WithoutHistory: true})
+		var buf []votes.Vote
 		for _, task := range tasks {
-			suite.ObserveTask(task.Votes())
+			buf = task.AppendVotes(buf[:0])
+			suite.ObserveTask(buf)
 		}
 		wrong := 0
 		for i := 0; i < n; i++ {

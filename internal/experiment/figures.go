@@ -22,6 +22,9 @@ type Options struct {
 	Permutations int
 	// TaskScale multiplies the per-figure default task count (default 1.0).
 	TaskScale float64
+	// Parallelism bounds the permutation-replay worker pool of every Run a
+	// driver issues (0 = GOMAXPROCS). Results are identical for any value.
+	Parallelism int
 }
 
 func (o Options) perms() int {
@@ -121,10 +124,10 @@ func Fig2b(opts Options) *Figure {
 		m := votes.NewMatrix(sampleSize, votes.WithoutHistory())
 		x := make([]float64, nTasks)
 		est := make([]float64, nTasks)
+		var buf []votes.Vote
 		for t := 0; t < nTasks; t++ {
-			for _, v := range sim.NextTask().Votes() {
-				m.Add(v)
-			}
+			buf = sim.AppendTask(buf[:0])
+			m.AddAll(buf)
 			x[t] = float64(t + 1)
 			est[t] = estimator.Extrapolate(int(m.Majority()), sampleSize, pop.N())
 		}
@@ -168,6 +171,7 @@ func runRealData(cfg realDataConfig, opts Options) []*Figure {
 		Permutations: opts.perms(),
 		Seed:         opts.Seed,
 		TrackNeeded:  true,
+		Parallelism:  opts.Parallelism,
 		Suite: estimator.SuiteConfig{
 			Switch: estimator.SwitchConfig{CapToPopulation: true},
 		},
@@ -290,7 +294,7 @@ func Fig5(opts Options) []*Figure {
 
 // sweepPoint runs one (profile, itemsPerTask) cell of the Figure 6 sweeps
 // and returns the SRMSE of each estimator after nTasks tasks.
-func sweepPoint(pop *dataset.Population, profile crowd.Profile, nTasks, itemsPerTask, perms int, seed uint64) map[string]float64 {
+func sweepPoint(pop *dataset.Population, profile crowd.Profile, nTasks, itemsPerTask int, opts Options, seed uint64) map[string]float64 {
 	sim := crowd.NewSimulator(crowd.Config{
 		Truth:        pop.Truth.IsDirty,
 		N:            pop.N(),
@@ -302,8 +306,9 @@ func sweepPoint(pop *dataset.Population, profile crowd.Profile, nTasks, itemsPer
 		Population:   pop,
 		Tasks:        sim.Tasks(nTasks),
 		Checkpoints:  []int{nTasks},
-		Permutations: perms,
+		Permutations: opts.perms(),
 		Seed:         seed,
+		Parallelism:  opts.Parallelism,
 	})
 	out := make(map[string]float64, 4)
 	for _, name := range []string{estimator.NameVoting, estimator.NameChao92, estimator.NameVChao92, estimator.NameSwitch} {
@@ -333,7 +338,7 @@ func Fig6a(opts Options) *Figure {
 		series[n] = &Series{Name: n}
 	}
 	for i, q := range precisions {
-		point := sweepPoint(pop, crowd.FromPrecision(q), nTasks, 15, opts.perms(), opts.Seed+uint64(i))
+		point := sweepPoint(pop, crowd.FromPrecision(q), nTasks, 15, opts, opts.Seed+uint64(i))
 		for _, n := range names {
 			series[n].X = append(series[n].X, q)
 			series[n].Mean = append(series[n].Mean, point[n])
@@ -367,7 +372,7 @@ func Fig6b(opts Options) *Figure {
 		series[n] = &Series{Name: n}
 	}
 	for i, p := range itemsPerTask {
-		point := sweepPoint(pop, FNOnlyProfile, nTasks, p, opts.perms(), opts.Seed+uint64(i))
+		point := sweepPoint(pop, FNOnlyProfile, nTasks, p, opts, opts.Seed+uint64(i))
 		for _, n := range names {
 			series[n].X = append(series[n].X, float64(p))
 			series[n].Mean = append(series[n].Mean, point[n])
@@ -397,6 +402,7 @@ func fig7Scenario(id, title string, profile crowd.Profile, opts Options) *Figure
 		Tasks:        sim.Tasks(nTasks),
 		Permutations: opts.perms(),
 		Seed:         opts.Seed,
+		Parallelism:  opts.Parallelism,
 	})
 	mk := func(name string) Series {
 		return Series{Name: name, X: res.X, Mean: res.Mean[name], Std: res.Std[name]}
@@ -499,10 +505,10 @@ func Sec321(opts Options) *Figure {
 			Seed:         opts.Seed,
 		})
 		m := votes.NewMatrix(pop.N(), votes.WithoutHistory())
+		var buf []votes.Vote
 		for t := 0; t < nTasks; t++ {
-			for _, v := range sim.NextTask().Votes() {
-				m.Add(v)
-			}
+			buf = sim.AppendTask(buf[:0])
+			m.AddAll(buf)
 		}
 		f := m.DirtyFingerprint()
 		est := estimator.Chao92(m, estimator.WithoutSkewCorrection())

@@ -7,6 +7,8 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"dqm/internal/crowd"
 	"dqm/internal/dataset"
@@ -43,6 +45,12 @@ type RunConfig struct {
 	// TrackNeeded enables the ground-truth needed-switch series (used by the
 	// b/c panels of Figures 3–5); it costs O(N) per checkpoint.
 	TrackNeeded bool
+	// Parallelism bounds the number of goroutines replaying permutations
+	// concurrently. 0 selects GOMAXPROCS; 1 replays inline on the caller.
+	// Results are bit-identical for every setting: each permutation owns a
+	// pre-split RNG and a pooled suite, so the schedule cannot leak into the
+	// estimates.
+	Parallelism int
 }
 
 func (c *RunConfig) setDefaults() {
@@ -93,7 +101,69 @@ var runSeries = []string{
 	estimator.NameVChao92, estimator.NameSwitch, SeriesXiPos, SeriesXiNeg,
 }
 
+// replayState is the per-worker scratch of the parallel replay engine: one
+// suite plus the permutation and vote buffers it replays into. States are
+// pooled so a Run spins up at most Parallelism of them regardless of r.
+type replayState struct {
+	suite *estimator.Suite
+	order []int
+	votes []votes.Vote
+}
+
+func newReplayState(n, tasks int, cfg estimator.SuiteConfig) *replayState {
+	// Replay suites never expose their matrices, so history retention would
+	// only buy per-vote appends on every permutation.
+	cfg.WithoutHistory = true
+	return &replayState{
+		suite: estimator.NewSuite(n, cfg),
+		order: make([]int, tasks),
+	}
+}
+
+// replayPerm replays one permutation of the task stream through the state's
+// suite, writing each checkpoint row into rows[series][ncp·p+checkpoint].
+// Rows of distinct permutations are disjoint, so no synchronization is
+// needed to merge them.
+func (st *replayState) replayPerm(cfg *RunConfig, p, ncp int, permRNG *xrand.RNG, rows map[string][]float64) {
+	st.suite.Reset()
+	order := st.order
+	for i := range order {
+		order[i] = i
+	}
+	permRNG.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	base := p * ncp
+	next := 0
+	for ti, oi := range order {
+		st.votes = cfg.Tasks[oi].AppendVotes(st.votes[:0])
+		st.suite.ObserveTask(st.votes)
+		if next < ncp && ti+1 == cfg.Checkpoints[next] {
+			est := st.suite.EstimateAll()
+			at := base + next
+			rows[estimator.NameNominal][at] = est.Nominal
+			rows[estimator.NameVoting][at] = est.Voting
+			rows[estimator.NameChao92][at] = est.Chao92
+			rows[estimator.NameVChao92][at] = est.VChao92
+			rows[estimator.NameSwitch][at] = est.Switch.Total
+			rows[SeriesXiPos][at] = est.Switch.XiPos
+			rows[SeriesXiNeg][at] = est.Switch.XiNeg
+			if cfg.TrackNeeded {
+				np, nn := neededSwitches(st.suite.Matrix, cfg.Population.Truth)
+				rows[SeriesNeededPos][at] = float64(np)
+				rows[SeriesNeededNeg][at] = float64(nn)
+			}
+			next++
+		}
+	}
+}
+
 // Run replays the tasks over r permutations and aggregates estimates.
+//
+// Permutations are fanned out over a bounded worker pool (see
+// RunConfig.Parallelism). Determinism is preserved by construction: the
+// per-permutation shuffle RNGs are split from the seed in permutation order
+// before any worker starts, each worker replays into its own pooled suite,
+// and every (series, permutation, checkpoint) cell has exactly one writer.
 func Run(cfg RunConfig) *RunResult {
 	cfg.setDefaults()
 	pop := cfg.Population
@@ -104,65 +174,92 @@ func Run(cfg RunConfig) *RunResult {
 		names = append(names, SeriesNeededPos, SeriesNeededNeg)
 	}
 
-	// rows[name][perm][checkpoint]
-	rows := make(map[string][][]float64, len(names))
-	for _, n := range names {
-		rows[n] = make([][]float64, cfg.Permutations)
+	// One RNG per permutation, split up front in permutation order, so the
+	// stream permutation p sees does not depend on which worker replays it.
+	permRNGs := make([]*xrand.RNG, cfg.Permutations)
+	for p := range permRNGs {
+		permRNGs[p] = rng.Split()
 	}
 
-	order := make([]int, len(cfg.Tasks))
-	suite := estimator.NewSuite(pop.N(), cfg.Suite)
-	for p := 0; p < cfg.Permutations; p++ {
-		for i := range order {
-			order[i] = i
+	// ncp counts the checkpoints the replay can actually reach; rows are
+	// sized for them up front so recording never grows a slice.
+	ncp := 0
+	for _, cp := range cfg.Checkpoints {
+		if cp > len(cfg.Tasks) {
+			break
 		}
-		permRNG := rng.Split()
-		permRNG.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		ncp++
+	}
 
-		suite.Reset()
-		record := func(name string, v float64) {
-			rows[name][p] = append(rows[name][p], v)
+	// rows[name] is a flat [permutation][checkpoint] matrix in row-major
+	// order; workers write disjoint rows lock-free.
+	rows := make(map[string][]float64, len(names))
+	for _, n := range names {
+		rows[n] = make([]float64, cfg.Permutations*ncp)
+	}
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Permutations {
+		workers = cfg.Permutations
+	}
+
+	pool := sync.Pool{New: func() any {
+		return newReplayState(pop.N(), len(cfg.Tasks), cfg.Suite)
+	}}
+	replay := func(p int) {
+		st := pool.Get().(*replayState)
+		st.replayPerm(&cfg, p, ncp, permRNGs[p], rows)
+		pool.Put(st)
+	}
+
+	if workers <= 1 {
+		for p := 0; p < cfg.Permutations; p++ {
+			replay(p)
 		}
-		next := 0
-		for ti, oi := range order {
-			suite.ObserveTask(cfg.Tasks[oi].Votes())
-			if next < len(cfg.Checkpoints) && ti+1 == cfg.Checkpoints[next] {
-				est := suite.EstimateAll()
-				record(estimator.NameNominal, est.Nominal)
-				record(estimator.NameVoting, est.Voting)
-				record(estimator.NameChao92, est.Chao92)
-				record(estimator.NameVChao92, est.VChao92)
-				record(estimator.NameSwitch, est.Switch.Total)
-				record(SeriesXiPos, est.Switch.XiPos)
-				record(SeriesXiNeg, est.Switch.XiNeg)
-				if cfg.TrackNeeded {
-					np, nn := neededSwitches(suite.Matrix, pop.Truth)
-					record(SeriesNeededPos, float64(np))
-					record(SeriesNeededNeg, float64(nn))
+	} else {
+		var wg sync.WaitGroup
+		perms := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for p := range perms {
+					replay(p)
 				}
-				next++
-			}
+			}()
 		}
+		for p := 0; p < cfg.Permutations; p++ {
+			perms <- p
+		}
+		close(perms)
+		wg.Wait()
 	}
 
 	res := &RunResult{
-		X:              make([]float64, len(cfg.Checkpoints)),
+		X:              make([]float64, ncp),
 		Mean:           make(map[string][]float64, len(names)),
 		Std:            make(map[string][]float64, len(names)),
 		Truth:          float64(pop.NumDirty()),
 		FinalEstimates: make(map[string][]float64, len(names)),
 	}
-	for i, cp := range cfg.Checkpoints {
-		res.X[i] = float64(cp)
+	for i := 0; i < ncp; i++ {
+		res.X[i] = float64(cfg.Checkpoints[i])
 	}
+	series := make([][]float64, cfg.Permutations)
 	for _, n := range names {
-		res.Mean[n] = stats.MeanSeries(rows[n])
-		res.Std[n] = stats.StdSeries(rows[n])
-		finals := make([]float64, cfg.Permutations)
+		flat := rows[n]
 		for p := 0; p < cfg.Permutations; p++ {
-			row := rows[n][p]
-			if len(row) > 0 {
-				finals[p] = row[len(row)-1]
+			series[p] = flat[p*ncp : (p+1)*ncp]
+		}
+		res.Mean[n] = stats.MeanSeries(series)
+		res.Std[n] = stats.StdSeries(series)
+		finals := make([]float64, cfg.Permutations)
+		if ncp > 0 {
+			for p := 0; p < cfg.Permutations; p++ {
+				finals[p] = flat[(p+1)*ncp-1]
 			}
 		}
 		res.FinalEstimates[n] = finals

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"testing"
+
+	"dqm/internal/crowd"
+	"dqm/internal/dataset"
+	"dqm/internal/estimator"
+)
+
+// parallelRunConfig builds a mid-sized replay workload with every series
+// enabled, so the determinism comparison covers all recording paths.
+func parallelRunConfig(t *testing.T, parallelism int) RunConfig {
+	t.Helper()
+	pop := dataset.NewPlantedPopulation(200, 30, 7, "parallel-test")
+	sim := crowd.NewSimulator(crowd.Config{
+		Truth:        pop.Truth.IsDirty,
+		N:            pop.N(),
+		Profile:      crowd.Profile{FPRate: 0.02, FNRate: 0.15, Jitter: 0.2},
+		ItemsPerTask: 8,
+		Seed:         7,
+	})
+	return RunConfig{
+		Population:   pop,
+		Tasks:        sim.Tasks(120),
+		Permutations: 8,
+		Seed:         11,
+		TrackNeeded:  true,
+		Parallelism:  parallelism,
+		Suite: estimator.SuiteConfig{
+			Switch: estimator.SwitchConfig{CapToPopulation: true},
+		},
+	}
+}
+
+func sameSeries(t *testing.T, label string, a, b map[string][]float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: series count %d vs %d", label, len(a), len(b))
+	}
+	for name, av := range a {
+		bv, ok := b[name]
+		if !ok {
+			t.Fatalf("%s: series %s missing", label, name)
+		}
+		if len(av) != len(bv) {
+			t.Fatalf("%s: series %s length %d vs %d", label, name, len(av), len(bv))
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("%s: series %s differs at %d: %v vs %v", label, name, i, av[i], bv[i])
+			}
+		}
+	}
+}
+
+// TestRunParallelismDeterminism asserts the tentpole guarantee: the replay
+// engine produces bit-identical output for every worker-pool size, because
+// permutation RNGs are pre-split and each permutation replays into its own
+// suite.
+func TestRunParallelismDeterminism(t *testing.T) {
+	base := Run(parallelRunConfig(t, 1))
+	for _, par := range []int{2, 3, 8, 0} {
+		got := Run(parallelRunConfig(t, par))
+		if len(got.X) != len(base.X) {
+			t.Fatalf("parallelism %d: %d checkpoints vs %d", par, len(got.X), len(base.X))
+		}
+		for i := range base.X {
+			if got.X[i] != base.X[i] {
+				t.Fatalf("parallelism %d: X[%d] = %v vs %v", par, i, got.X[i], base.X[i])
+			}
+		}
+		if got.Truth != base.Truth {
+			t.Fatalf("parallelism %d: truth %v vs %v", par, got.Truth, base.Truth)
+		}
+		sameSeries(t, "Mean", got.Mean, base.Mean)
+		sameSeries(t, "Std", got.Std, base.Std)
+		sameSeries(t, "FinalEstimates", got.FinalEstimates, base.FinalEstimates)
+	}
+}
+
+// TestRunUnreachableCheckpoints: checkpoints beyond the task count are
+// dropped consistently from X and every series.
+func TestRunUnreachableCheckpoints(t *testing.T) {
+	cfg := parallelRunConfig(t, 1)
+	cfg.Checkpoints = []int{40, 80, 120, 500}
+	res := Run(cfg)
+	if len(res.X) != 3 || res.X[2] != 120 {
+		t.Fatalf("X = %v, want the three reachable checkpoints", res.X)
+	}
+	for name, s := range res.Mean {
+		if len(s) != 3 {
+			t.Fatalf("series %s has %d points, want 3", name, len(s))
+		}
+	}
+}

@@ -188,3 +188,118 @@ func TestTokenSortedEditSimilarity(t *testing.T) {
 		t.Fatal("test premise broken: plain similarity should degrade on reorder")
 	}
 }
+
+// referenceLevenshtein is the textbook full-matrix DP, kept as an oracle for
+// the optimized kernel (prefix/suffix trimming, Myers bit-parallel core,
+// banded abandon).
+func referenceLevenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d := prev[j] + 1
+			if c := cur[j-1] + 1; c < d {
+				d = c
+			}
+			if c := prev[j-1] + cost; c < d {
+				d = c
+			}
+			cur[j] = d
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// TestLevenshteinMatchesReference cross-validates the optimized kernel
+// against the naive DP on deterministic pseudo-random strings, covering the
+// Myers fast path (short patterns), the DP fallback (>64 runes) and
+// non-ASCII runes.
+func TestLevenshteinMatchesReference(t *testing.T) {
+	alphabets := []string{"ab", "abcde 0189", "αβγ ab"}
+	state := uint64(42)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % n
+	}
+	for _, alpha := range alphabets {
+		runes := []rune(alpha)
+		mk := func(maxLen int) string {
+			n := next(maxLen + 1)
+			out := make([]rune, n)
+			for i := range out {
+				out[i] = runes[next(len(runes))]
+			}
+			return string(out)
+		}
+		for i := 0; i < 300; i++ {
+			a, b := mk(90), mk(90)
+			want := referenceLevenshtein(a, b)
+			if got := Levenshtein(a, b); got != want {
+				t.Fatalf("Levenshtein(%q, %q) = %d, want %d", a, b, got, want)
+			}
+			if got := BoundedLevenshtein(a, b, want); got != want {
+				t.Fatalf("BoundedLevenshtein(%q, %q, %d) = %d, want exact", a, b, want, got)
+			}
+			if lo := BoundedLevenshtein(a, b, want-1); want > 0 && lo <= want-1 {
+				t.Fatalf("BoundedLevenshtein(%q, %q, %d) = %d, want > bound", a, b, want-1, lo)
+			}
+		}
+	}
+}
+
+// TestEditSimilarityAtLeast: the thresholded path must classify exactly like
+// the unbounded similarity.
+func TestEditSimilarityAtLeast(t *testing.T) {
+	pairs := [][2]string{
+		{"", ""},
+		{"a", ""},
+		{"kitten", "sitting"},
+		{"ritz carlton cafe", "cafe ritz"},
+		{"completely different", "unrelated words here"},
+		{"same string same string", "same string same string"},
+	}
+	for _, minSim := range []float64{0, 0.3, 0.5, 0.9, 1} {
+		for _, p := range pairs {
+			want := EditSimilarity(p[0], p[1])
+			got, ok := EditSimilarityAtLeast(p[0], p[1], minSim)
+			if wantOK := want >= minSim; ok != wantOK {
+				t.Fatalf("EditSimilarityAtLeast(%q, %q, %v) ok = %v, want %v (sim %v)",
+					p[0], p[1], minSim, ok, wantOK, want)
+			}
+			if ok && got != want {
+				t.Fatalf("EditSimilarityAtLeast(%q, %q, %v) = %v, want %v", p[0], p[1], minSim, got, want)
+			}
+		}
+	}
+}
+
+// TestCharProfileBound: the histogram bound never exceeds the true distance,
+// and CouldMatch never discards a pair the exact comparison keeps.
+func TestCharProfileBound(t *testing.T) {
+	strs := []string{"", "abc", "cafe ritz carlton", "ritz carlton cafe",
+		"photoshop elements 5", "unrelated zzz 999", "αβγ non ascii"}
+	for _, a := range strs {
+		for _, b := range strs {
+			pa, pb := NewCharProfile(a), NewCharProfile(b)
+			d := Levenshtein(a, b)
+			if lb := pa.MinDistance(pb); lb > d {
+				t.Fatalf("MinDistance(%q, %q) = %d exceeds true distance %d", a, b, lb, d)
+			}
+			for _, minSim := range []float64{0.3, 0.5, 0.9} {
+				if _, ok := EditSimilarityAtLeast(a, b, minSim); ok && !pa.CouldMatch(pb, minSim) {
+					t.Fatalf("CouldMatch(%q, %q, %v) discarded a matching pair", a, b, minSim)
+				}
+			}
+		}
+	}
+}

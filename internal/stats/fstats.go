@@ -71,6 +71,18 @@ func (f *Freq) Promote(j int) {
 	f.Add(j+1, 1)
 }
 
+// Reset empties every frequency class in place, retaining the slice's
+// capacity so streaming consumers can clear between replays without
+// reallocating.
+func (f *Freq) Reset() {
+	if cap(*f) == 0 {
+		*f = Freq{0}
+		return
+	}
+	*f = (*f)[:1]
+	(*f)[0] = 0
+}
+
 // Species returns c = Σ_j f_j, the number of distinct species observed.
 func (f Freq) Species() int64 {
 	var c int64

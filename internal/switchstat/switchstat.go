@@ -253,18 +253,29 @@ func (t *Tracker) CSwitchNegative() int64 { return t.cNeg }
 
 // Fingerprint returns the f′-statistics over all switch species (positive
 // and negative merged).
-func (t *Tracker) Fingerprint() stats.Freq {
-	a, b := t.fPos, t.fNeg
-	if len(b) > len(a) {
-		a, b = b, a
+func (t *Tracker) Fingerprint() stats.Freq { return t.FingerprintInto(nil) }
+
+// FingerprintInto merges both sign fingerprints into dst (grown as needed)
+// and returns it, letting streaming estimators reuse one scratch buffer per
+// estimate instead of allocating a merge each time.
+func (t *Tracker) FingerprintInto(dst stats.Freq) stats.Freq {
+	n := len(t.fPos)
+	if len(t.fNeg) > n {
+		n = len(t.fNeg)
 	}
-	out := a.Clone()
-	for j := 1; j < len(b); j++ {
-		if b[j] != 0 {
-			out.Add(j, b[j])
-		}
+	if cap(dst) < n {
+		dst = make(stats.Freq, n)
+	} else {
+		dst = dst[:n]
+		clear(dst)
 	}
-	return out
+	for j := 1; j < len(t.fPos); j++ {
+		dst[j] += t.fPos[j]
+	}
+	for j := 1; j < len(t.fNeg); j++ {
+		dst[j] += t.fNeg[j]
+	}
+	return dst
 }
 
 // FingerprintPositive returns the f′-statistics over positive switches only.
@@ -272,6 +283,16 @@ func (t *Tracker) FingerprintPositive() stats.Freq { return t.fPos.Clone() }
 
 // FingerprintNegative returns the f′-statistics over negative switches only.
 func (t *Tracker) FingerprintNegative() stats.Freq { return t.fNeg.Clone() }
+
+// FingerprintPositiveView returns the positive fingerprint without copying;
+// the slice aliases internal storage and is invalidated by the next Add or
+// Reset.
+func (t *Tracker) FingerprintPositiveView() stats.Freq { return t.fPos }
+
+// FingerprintNegativeView returns the negative fingerprint without copying;
+// the slice aliases internal storage and is invalidated by the next Add or
+// Reset.
+func (t *Tracker) FingerprintNegativeView() stats.Freq { return t.fNeg }
 
 // Consensus reports the tracker's consensus state for item i (true = dirty).
 // Under PolicyStrictMajority this coincides with the strict majority with
@@ -294,7 +315,8 @@ func (t *Tracker) Reset() {
 			t.ledgers[i] = t.ledgers[i][:0]
 		}
 	}
-	t.fPos, t.fNeg = stats.Freq{0}, stats.Freq{0}
+	t.fPos.Reset()
+	t.fNeg.Reset()
 	t.totalVotes, t.noops = 0, 0
 	t.posSw, t.negSw = 0, 0
 	t.cPos, t.cNeg, t.cAny, t.cMajority = 0, 0, 0, 0

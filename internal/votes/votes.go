@@ -49,6 +49,55 @@ type Vote struct {
 	Label  Label
 }
 
+// workerSet tracks the distinct workers seen as a growable dense bitset:
+// worker IDs are small dense integers in every supported source (simulator
+// pools number workers 0..K−1, vote logs use row-local counters), so a
+// bitset replaces the map the hot path previously touched on every vote.
+// IDs outside the dense range — negative, or so large the bitset would
+// balloon (possible only in hand-written logs) — fall back to a lazily
+// allocated map, so correctness never depends on the dense assumption.
+type workerSet struct {
+	bits   []uint64
+	count  int
+	sparse map[int]struct{}
+}
+
+// workerSetMaxDense bounds the bitset to 1 MiB (2²³ worker IDs); beyond
+// that the sparse map is cheaper than the zero-filled words.
+const workerSetMaxDense = 1 << 23
+
+// add records worker w, returning without allocating when w was seen.
+func (s *workerSet) add(w int) {
+	if w < 0 || w >= workerSetMaxDense {
+		if s.sparse == nil {
+			s.sparse = make(map[int]struct{})
+		}
+		if _, ok := s.sparse[w]; !ok {
+			s.sparse[w] = struct{}{}
+			s.count++
+		}
+		return
+	}
+	word := w >> 6
+	for word >= len(s.bits) {
+		s.bits = append(s.bits, 0)
+	}
+	if bit := uint64(1) << (w & 63); s.bits[word]&bit == 0 {
+		s.bits[word] |= bit
+		s.count++
+	}
+}
+
+// len returns the number of distinct workers recorded.
+func (s *workerSet) len() int { return s.count }
+
+// reset clears the set, retaining the bitset's capacity.
+func (s *workerSet) reset() {
+	clear(s.bits)
+	s.count = 0
+	s.sparse = nil
+}
+
 // itemState is the per-row aggregate of the matrix.
 type itemState struct {
 	pos, neg int32
@@ -72,7 +121,7 @@ type Matrix struct {
 	// aggregates (the switch estimator maintains its own streaming state).
 	retainHistory bool
 
-	workers   map[int]struct{}
+	workers   workerSet
 	votes     int64
 	posVotes  int64
 	cNominal  int64
@@ -101,7 +150,6 @@ func NewMatrix(n int, opts ...Option) *Matrix {
 		items:         make([]itemState, n),
 		history:       make([][]Vote, n),
 		retainHistory: true,
-		workers:       make(map[int]struct{}),
 		fpos:          stats.Freq{0},
 	}
 	for _, o := range opts {
@@ -117,7 +165,7 @@ func NewMatrix(n int, opts ...Option) *Matrix {
 func (m *Matrix) NumItems() int { return m.n }
 
 // NumWorkers returns the number of distinct workers seen so far (K).
-func (m *Matrix) NumWorkers() int { return len(m.workers) }
+func (m *Matrix) NumWorkers() int { return m.workers.len() }
 
 // TotalVotes returns the number of non-∅ entries ingested.
 func (m *Matrix) TotalVotes() int64 { return m.votes }
@@ -150,7 +198,7 @@ func (m *Matrix) Add(v Vote) {
 		st.neg++
 	}
 	m.votes++
-	m.workers[v.Worker] = struct{}{}
+	m.workers.add(v.Worker)
 
 	if isMajority := st.majorityDirty(); isMajority != wasMajority {
 		if isMajority {
@@ -193,6 +241,12 @@ func (m *Matrix) Majority() int64 { return m.cMajority }
 // number of items marked dirty by exactly j workers. The returned slice is a
 // copy and safe to retain.
 func (m *Matrix) DirtyFingerprint() stats.Freq { return m.fpos.Clone() }
+
+// DirtyFingerprintView returns the same f-statistics without copying. The
+// returned slice aliases internal storage: it must not be modified and is
+// invalidated by the next Add or Reset. The estimator hot paths read it in
+// place to keep per-checkpoint evaluation allocation-free.
+func (m *Matrix) DirtyFingerprintView() stats.Freq { return m.fpos }
 
 // History returns the vote sequence of item i in arrival order. The returned
 // slice aliases internal storage and must not be modified. It returns nil
@@ -238,7 +292,7 @@ func (m *Matrix) Reset() {
 			m.history[i] = m.history[i][:0]
 		}
 	}
-	m.workers = make(map[int]struct{})
+	m.workers.reset()
 	m.votes, m.posVotes, m.cNominal, m.cMajority = 0, 0, 0, 0
-	m.fpos = stats.Freq{0}
+	m.fpos.Reset()
 }

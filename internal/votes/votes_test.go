@@ -266,3 +266,24 @@ func TestNewMatrixPanicsOnNegative(t *testing.T) {
 	}()
 	NewMatrix(-1)
 }
+
+// TestNumWorkersSparseIDs: the worker bitset must count negative and huge
+// IDs (hand-written vote logs) via the sparse fallback without ballooning.
+func TestNumWorkersSparseIDs(t *testing.T) {
+	m := NewMatrix(3)
+	for _, w := range []int{0, 0, -5, -5, 1 << 40, 1 << 40, 7, -9} {
+		m.Add(Vote{Item: 0, Worker: w, Label: Dirty})
+	}
+	if got := m.NumWorkers(); got != 5 {
+		t.Fatalf("NumWorkers = %d, want 5 (0, -5, 1<<40, 7, -9)", got)
+	}
+	m.Reset()
+	if got := m.NumWorkers(); got != 0 {
+		t.Fatalf("NumWorkers after reset = %d", got)
+	}
+	m.Add(Vote{Item: 0, Worker: -5, Label: Clean})
+	m.Add(Vote{Item: 0, Worker: 2, Label: Clean})
+	if got := m.NumWorkers(); got != 2 {
+		t.Fatalf("NumWorkers after reuse = %d, want 2", got)
+	}
+}
