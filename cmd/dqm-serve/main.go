@@ -1,0 +1,538 @@
+// Command dqm-serve exposes the DQM session engine over HTTP, so cleaning
+// pipelines can stream worker votes for many datasets concurrently and poll
+// the data-quality estimates while cleaning is in flight — the online-service
+// shape the paper's metric is designed for.
+//
+// Usage:
+//
+//	dqm-serve [-addr :8334] [-shards 32] [-max-sessions 0] [-max-batch 100000]
+//
+// Endpoints (JSON request/response bodies):
+//
+//	GET    /healthz                        liveness + session count
+//	GET    /v1/estimators                  registered estimator names
+//	POST   /v1/sessions                    create a session
+//	GET    /v1/sessions                    list session ids
+//	GET    /v1/sessions/{id}               session info
+//	DELETE /v1/sessions/{id}               delete a session (and its snapshots)
+//	POST   /v1/sessions/{id}/votes         append a vote batch / task entries
+//	GET    /v1/sessions/{id}/estimates     estimates (?ci=0.95&replicates=200)
+//	POST   /v1/sessions/{id}/snapshots     snapshot the estimator state
+//	GET    /v1/sessions/{id}/snapshots     list snapshots
+//	POST   /v1/sessions/{id}/restore       restore a snapshot
+//
+// A vote batch is either {"votes": [{"item","worker","dirty"}...],
+// "end_task": true} for one task, or {"entries": [{"task","item","worker",
+// "dirty"}...]} in the votelog interchange format, with task boundaries at
+// every task-id change (and after the final entry).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dqm"
+)
+
+func main() {
+	fs := flag.NewFlagSet("dqm-serve", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", ":8334", "listen address")
+		shards      = fs.Int("shards", 32, "session-table shards (rounded up to a power of two)")
+		maxSessions = fs.Int("max-sessions", 0, "max live sessions, LRU-evicted beyond (0 = unlimited)")
+		maxBatch    = fs.Int("max-batch", 100000, "max votes per ingest request")
+	)
+	fs.Parse(os.Args[1:])
+
+	srv := newServer(serverConfig{
+		Shards:      *shards,
+		MaxSessions: *maxSessions,
+		MaxBatch:    *maxBatch,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("dqm-serve listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// serverConfig parameterizes the HTTP layer.
+type serverConfig struct {
+	Shards      int
+	MaxSessions int
+	// MaxBatch bounds the votes accepted per ingest request; 0 selects
+	// 100000.
+	MaxBatch int
+	// MaxSnapshots bounds retained snapshots per session (oldest dropped);
+	// 0 selects 16.
+	MaxSnapshots int
+}
+
+// server is the HTTP front of one dqm.Engine. Snapshots live server-side,
+// keyed per session, so clients checkpoint and roll back with ids instead of
+// shipping estimator state over the wire.
+type server struct {
+	engine *dqm.Engine
+	mux    *http.ServeMux
+	cfg    serverConfig
+
+	sessionSeq atomic.Int64
+
+	snapMu  sync.Mutex
+	snaps   map[string][]namedSnapshot
+	snapSeq atomic.Int64
+}
+
+type namedSnapshot struct {
+	id   string
+	snap *dqm.Snapshot
+}
+
+func newServer(cfg serverConfig) *server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 100000
+	}
+	if cfg.MaxSnapshots <= 0 {
+		cfg.MaxSnapshots = 16
+	}
+	s := &server{
+		mux:   http.NewServeMux(),
+		cfg:   cfg,
+		snaps: make(map[string][]namedSnapshot),
+	}
+	s.engine = dqm.NewEngine(dqm.EngineConfig{
+		Shards:      cfg.Shards,
+		MaxSessions: cfg.MaxSessions,
+		// LRU-evicted sessions must not leak their server-side snapshots (or
+		// resurrect them under a reused id).
+		OnEvict: s.dropSnapshots,
+	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/estimators", s.handleEstimators)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionInfo)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/votes", s.handleAppendVotes)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/estimates", s.handleEstimates)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/snapshots", s.handleCreateSnapshot)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/snapshots", s.handleListSnapshots)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/restore", s.handleRestore)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// dropSnapshots releases every server-side snapshot of a session.
+func (s *server) dropSnapshots(id string) {
+	s.snapMu.Lock()
+	delete(s.snaps, id)
+	s.snapMu.Unlock()
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes one JSON object into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// session resolves the {id} path value, writing a 404 on a miss.
+func (s *server) session(w http.ResponseWriter, r *http.Request) (*dqm.Session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.engine.Session(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"sessions":  s.engine.NumSessions(),
+		"evictions": s.engine.Evictions(),
+	})
+}
+
+func (s *server) handleEstimators(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"estimators": dqm.EstimatorNames()})
+}
+
+// sessionConfigJSON is the wire form of dqm.Config.
+type sessionConfigJSON struct {
+	VChaoShift      int      `json:"v_chao_shift,omitempty"`
+	TiePolicy       string   `json:"tie_policy,omitempty"` // "tie-flip" | "strict-majority"
+	TrendWindow     int      `json:"trend_window,omitempty"`
+	CapToPopulation bool     `json:"cap_to_population,omitempty"`
+	TrackConfidence bool     `json:"track_confidence,omitempty"`
+	Estimators      []string `json:"estimators,omitempty"`
+}
+
+func (c sessionConfigJSON) toConfig() (dqm.Config, error) {
+	cfg := dqm.Defaults()
+	if c.VChaoShift != 0 {
+		cfg.VChaoShift = c.VChaoShift
+	}
+	switch c.TiePolicy {
+	case "", "tie-flip":
+	case "strict-majority":
+		cfg.TiePolicy = dqm.StrictMajority
+	default:
+		return cfg, fmt.Errorf("unknown tie_policy %q (want tie-flip or strict-majority)", c.TiePolicy)
+	}
+	cfg.TrendWindow = c.TrendWindow
+	cfg.CapToPopulation = c.CapToPopulation
+	cfg.TrackConfidence = c.TrackConfidence
+	cfg.Estimators = c.Estimators
+	return cfg, nil
+}
+
+func (s *server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID     string            `json:"id,omitempty"`
+		Items  int               `json:"items"`
+		Config sessionConfigJSON `json:"config,omitempty"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	cfg, err := req.Config.toConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := req.ID
+	if id == "" {
+		id = fmt.Sprintf("session-%d", s.sessionSeq.Add(1))
+	}
+	sess, err := s.engine.CreateSession(id, req.Items, cfg)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already exists") {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":         sess.ID(),
+		"items":      sess.NumItems(),
+		"estimators": sess.EstimatorNames(),
+	})
+}
+
+func (s *server) handleListSessions(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": s.engine.SessionIDs()})
+}
+
+func (s *server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":         sess.ID(),
+		"items":      sess.NumItems(),
+		"workers":    sess.NumWorkers(),
+		"votes":      sess.TotalVotes(),
+		"tasks":      sess.Tasks(),
+		"estimators": sess.EstimatorNames(),
+		"created_at": sess.CreatedAt().UTC().Format(time.RFC3339Nano),
+		"last_used":  sess.LastUsed().UTC().Format(time.RFC3339Nano),
+	})
+}
+
+func (s *server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.engine.DeleteSession(id) {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	s.dropSnapshots(id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// voteJSON is one wire vote.
+type voteJSON struct {
+	Item   int  `json:"item"`
+	Worker int  `json:"worker"`
+	Dirty  bool `json:"dirty"`
+}
+
+// entryJSON is the votelog interchange form: votes grouped by task id.
+type entryJSON struct {
+	Task   int  `json:"task"`
+	Item   int  `json:"item"`
+	Worker int  `json:"worker"`
+	Dirty  bool `json:"dirty"`
+}
+
+func (s *server) handleAppendVotes(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Votes   []voteJSON  `json:"votes,omitempty"`
+		EndTask bool        `json:"end_task,omitempty"`
+		Entries []entryJSON `json:"entries,omitempty"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Votes) > 0 && len(req.Entries) > 0 {
+		writeError(w, http.StatusBadRequest, "provide either votes or entries, not both")
+		return
+	}
+	if n := len(req.Votes) + len(req.Entries); n == 0 && !req.EndTask {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	} else if n > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d votes exceeds limit %d", n, s.cfg.MaxBatch)
+		return
+	}
+
+	tasksDone := 0
+	if len(req.Entries) > 0 {
+		// Replay with a task boundary at every task-id change and after the
+		// final entry (the votelog contract). Batches are validated and
+		// applied per task, so a bad entry fails before its task is applied.
+		batch := make([]dqm.Vote, 0, len(req.Entries))
+		flush := func() error {
+			if err := sess.AppendVotes(batch, true); err != nil {
+				return err
+			}
+			tasksDone++
+			batch = batch[:0]
+			return nil
+		}
+		for i, e := range req.Entries {
+			if i > 0 && req.Entries[i-1].Task != e.Task {
+				if err := flush(); err != nil {
+					writeError(w, http.StatusBadRequest, "%v", err)
+					return
+				}
+			}
+			batch = append(batch, dqm.Vote{Item: e.Item, Worker: e.Worker, Dirty: e.Dirty})
+		}
+		if err := flush(); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		batch := make([]dqm.Vote, len(req.Votes))
+		for i, v := range req.Votes {
+			batch[i] = dqm.Vote{Item: v.Item, Worker: v.Worker, Dirty: v.Dirty}
+		}
+		if err := sess.AppendVotes(batch, req.EndTask); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if req.EndTask {
+			tasksDone = 1
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ingested":    len(req.Votes) + len(req.Entries),
+		"tasks_ended": tasksDone,
+		"total_votes": sess.TotalVotes(),
+		"tasks":       sess.Tasks(),
+	})
+}
+
+// estimatesJSON is the wire form of dqm.Estimates.
+type estimatesJSON struct {
+	Nominal   float64            `json:"nominal"`
+	Voting    float64            `json:"voting"`
+	Chao92    float64            `json:"chao92"`
+	VChao92   float64            `json:"v_chao92"`
+	Switch    switchJSON         `json:"switch"`
+	Remaining float64            `json:"remaining"`
+	Extra     map[string]float64 `json:"extra,omitempty"`
+	Tasks     int64              `json:"tasks"`
+	Votes     int64              `json:"votes"`
+	SwitchCI  *ciJSON            `json:"switch_ci,omitempty"`
+}
+
+type switchJSON struct {
+	Total             float64 `json:"total"`
+	XiPos             float64 `json:"xi_pos"`
+	XiNeg             float64 `json:"xi_neg"`
+	RemainingSwitches float64 `json:"remaining_switches"`
+	Trend             string  `json:"trend"`
+}
+
+type ciJSON struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Level float64 `json:"level"`
+}
+
+func estimatesToJSON(sess *dqm.Session) estimatesJSON {
+	e := sess.Estimates()
+	trend := "flat"
+	if e.Switch.TrendUp {
+		trend = "up"
+	} else if e.Switch.TrendDown {
+		trend = "down"
+	}
+	return estimatesJSON{
+		Nominal: e.Nominal,
+		Voting:  e.Voting,
+		Chao92:  e.Chao92,
+		VChao92: e.VChao92,
+		Switch: switchJSON{
+			Total:             e.Switch.Total,
+			XiPos:             e.Switch.XiPos,
+			XiNeg:             e.Switch.XiNeg,
+			RemainingSwitches: e.Switch.RemainingSwitches,
+			Trend:             trend,
+		},
+		Remaining: e.Remaining(),
+		Extra:     e.Extra,
+		Tasks:     sess.Tasks(),
+		Votes:     sess.TotalVotes(),
+	}
+}
+
+func (s *server) handleEstimates(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	out := estimatesToJSON(sess)
+	if q := r.URL.Query().Get("ci"); q != "" {
+		level, err := strconv.ParseFloat(q, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad ci level %q", q)
+			return
+		}
+		reps := 200
+		if rq := r.URL.Query().Get("replicates"); rq != "" {
+			if reps, err = strconv.Atoi(rq); err != nil {
+				writeError(w, http.StatusBadRequest, "bad replicates %q", rq)
+				return
+			}
+		}
+		// The bootstrap holds the session lock for O(replicates·N); an
+		// unbounded count would let one request stall the session's ingest.
+		const maxReplicates = 10000
+		if reps > maxReplicates {
+			writeError(w, http.StatusBadRequest, "replicates %d exceeds limit %d", reps, maxReplicates)
+			return
+		}
+		ci, err := sess.SwitchCI(reps, level)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		out.SwitchCI = &ciJSON{Lo: ci.Lo, Hi: ci.Hi, Level: ci.Level}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleCreateSnapshot(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	snap := sess.Snapshot()
+	id := fmt.Sprintf("snap-%d", s.snapSeq.Add(1))
+	s.snapMu.Lock()
+	list := append(s.snaps[sess.ID()], namedSnapshot{id: id, snap: snap})
+	if len(list) > s.cfg.MaxSnapshots {
+		list = list[len(list)-s.cfg.MaxSnapshots:]
+	}
+	s.snaps[sess.ID()] = list
+	s.snapMu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"snapshot_id": id,
+		"tasks":       snap.Tasks(),
+		"votes":       snap.TotalVotes(),
+	})
+}
+
+func (s *server) handleListSnapshots(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	s.snapMu.Lock()
+	list := s.snaps[sess.ID()]
+	out := make([]map[string]any, len(list))
+	for i, ns := range list {
+		out[i] = map[string]any{
+			"snapshot_id": ns.id,
+			"tasks":       ns.snap.Tasks(),
+			"votes":       ns.snap.TotalVotes(),
+			"taken_at":    ns.snap.TakenAt().UTC().Format(time.RFC3339Nano),
+		}
+	}
+	s.snapMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"snapshots": out})
+}
+
+func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		SnapshotID string `json:"snapshot_id"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.snapMu.Lock()
+	var snap *dqm.Snapshot
+	for _, ns := range s.snaps[sess.ID()] {
+		if ns.id == req.SnapshotID {
+			snap = ns.snap
+			break
+		}
+	}
+	s.snapMu.Unlock()
+	if snap == nil {
+		writeError(w, http.StatusNotFound, "unknown snapshot %q for session %q", req.SnapshotID, sess.ID())
+		return
+	}
+	if err := sess.Restore(snap); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, estimatesToJSON(sess))
+}

@@ -1,0 +1,288 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"dqm"
+)
+
+// do issues one JSON request against the server and decodes the response.
+func do(t *testing.T, srv http.Handler, method, path string, body any, wantStatus int) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("%s %s = %d, want %d (body %s)", method, path, rec.Code, wantStatus, rec.Body.String())
+	}
+	if rec.Body.Len() == 0 {
+		return nil
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s %s: bad response JSON: %v (%s)", method, path, err, rec.Body.String())
+	}
+	return out
+}
+
+func TestHealthAndEstimators(t *testing.T) {
+	srv := newServer(serverConfig{})
+	h := do(t, srv, "GET", "/healthz", nil, http.StatusOK)
+	if h["status"] != "ok" {
+		t.Fatalf("health = %v", h)
+	}
+	e := do(t, srv, "GET", "/v1/estimators", nil, http.StatusOK)
+	names, _ := e["estimators"].([]any)
+	if len(names) < 5 {
+		t.Fatalf("estimators = %v", e)
+	}
+}
+
+func TestSessionLifecycleOverHTTP(t *testing.T) {
+	srv := newServer(serverConfig{})
+
+	// Generated id.
+	created := do(t, srv, "POST", "/v1/sessions", map[string]any{"items": 10}, http.StatusCreated)
+	genID, _ := created["id"].(string)
+	if genID == "" {
+		t.Fatalf("no id in %v", created)
+	}
+	// Explicit id, duplicate, and validation failures.
+	do(t, srv, "POST", "/v1/sessions", map[string]any{"id": "orders", "items": 20}, http.StatusCreated)
+	do(t, srv, "POST", "/v1/sessions", map[string]any{"id": "orders", "items": 20}, http.StatusConflict)
+	do(t, srv, "POST", "/v1/sessions", map[string]any{"id": "bad", "items": 0}, http.StatusBadRequest)
+	do(t, srv, "POST", "/v1/sessions", map[string]any{
+		"id": "bad", "items": 5, "config": map[string]any{"estimators": []string{"NOPE"}},
+	}, http.StatusBadRequest)
+	do(t, srv, "POST", "/v1/sessions", map[string]any{
+		"id": "bad", "items": 5, "config": map[string]any{"tie_policy": "coin-toss"},
+	}, http.StatusBadRequest)
+
+	list := do(t, srv, "GET", "/v1/sessions", nil, http.StatusOK)
+	if got := list["sessions"].([]any); len(got) != 2 {
+		t.Fatalf("sessions = %v", got)
+	}
+
+	info := do(t, srv, "GET", "/v1/sessions/orders", nil, http.StatusOK)
+	if info["items"].(float64) != 20 || info["votes"].(float64) != 0 {
+		t.Fatalf("info = %v", info)
+	}
+	do(t, srv, "GET", "/v1/sessions/nope", nil, http.StatusNotFound)
+
+	do(t, srv, "DELETE", "/v1/sessions/orders", nil, http.StatusNoContent)
+	do(t, srv, "DELETE", "/v1/sessions/orders", nil, http.StatusNotFound)
+}
+
+// TestIngestMatchesRecorder feeds the same stream over HTTP (both wire
+// forms) and directly into a Recorder; the served estimates must be
+// identical.
+func TestIngestMatchesRecorder(t *testing.T) {
+	srv := newServer(serverConfig{})
+	const n = 40
+	do(t, srv, "POST", "/v1/sessions", map[string]any{"id": "a", "items": n}, http.StatusCreated)
+	do(t, srv, "POST", "/v1/sessions", map[string]any{"id": "b", "items": n}, http.StatusCreated)
+	rec := dqm.NewRecorder(n, dqm.Defaults())
+
+	var entries []map[string]any
+	for task := 0; task < 25; task++ {
+		var batch []map[string]any
+		for i := 0; i < 8; i++ {
+			item := (task*5 + i) % n
+			dirty := (task+i)%3 != 0
+			rec.Record(item, task%6, dirty)
+			batch = append(batch, map[string]any{"item": item, "worker": task % 6, "dirty": dirty})
+			entries = append(entries, map[string]any{"task": task, "item": item, "worker": task % 6, "dirty": dirty})
+		}
+		rec.EndTask()
+		do(t, srv, "POST", "/v1/sessions/a/votes",
+			map[string]any{"votes": batch, "end_task": true}, http.StatusOK)
+	}
+	// Session b ingests the whole log in one request via the entries form.
+	resp := do(t, srv, "POST", "/v1/sessions/b/votes",
+		map[string]any{"entries": entries}, http.StatusOK)
+	if resp["tasks_ended"].(float64) != 25 {
+		t.Fatalf("entries ingest = %v", resp)
+	}
+
+	want := rec.Estimates()
+	for _, id := range []string{"a", "b"} {
+		got := do(t, srv, "GET", "/v1/sessions/"+id+"/estimates", nil, http.StatusOK)
+		if got["nominal"].(float64) != want.Nominal ||
+			got["voting"].(float64) != want.Voting ||
+			got["chao92"].(float64) != want.Chao92 ||
+			got["v_chao92"].(float64) != want.VChao92 ||
+			got["switch"].(map[string]any)["total"].(float64) != want.Switch.Total ||
+			got["remaining"].(float64) != want.Remaining() {
+			t.Fatalf("session %s estimates %v != recorder %+v", id, got, want)
+		}
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	srv := newServer(serverConfig{MaxBatch: 10})
+	do(t, srv, "POST", "/v1/sessions", map[string]any{"id": "s", "items": 5}, http.StatusCreated)
+
+	do(t, srv, "POST", "/v1/sessions/s/votes", map[string]any{}, http.StatusBadRequest)
+	do(t, srv, "POST", "/v1/sessions/s/votes", map[string]any{
+		"votes":   []map[string]any{{"item": 0, "worker": 0, "dirty": true}},
+		"entries": []map[string]any{{"task": 0, "item": 0, "worker": 0, "dirty": true}},
+	}, http.StatusBadRequest)
+	do(t, srv, "POST", "/v1/sessions/s/votes", map[string]any{
+		"votes": []map[string]any{{"item": 99, "worker": 0, "dirty": true}}, "end_task": true,
+	}, http.StatusBadRequest)
+	big := make([]map[string]any, 11)
+	for i := range big {
+		big[i] = map[string]any{"item": 0, "worker": i, "dirty": true}
+	}
+	do(t, srv, "POST", "/v1/sessions/s/votes", map[string]any{"votes": big, "end_task": true},
+		http.StatusRequestEntityTooLarge)
+	// A lone end_task with no votes is a valid (empty-task) boundary.
+	do(t, srv, "POST", "/v1/sessions/s/votes", map[string]any{"end_task": true}, http.StatusOK)
+	do(t, srv, "POST", "/v1/sessions/nope/votes", map[string]any{"end_task": true}, http.StatusNotFound)
+	// Unknown fields are rejected (strict decoding).
+	do(t, srv, "POST", "/v1/sessions/s/votes", map[string]any{"votez": 1}, http.StatusBadRequest)
+}
+
+func TestEstimatesWithCI(t *testing.T) {
+	srv := newServer(serverConfig{})
+	do(t, srv, "POST", "/v1/sessions", map[string]any{
+		"id": "s", "items": 50, "config": map[string]any{"track_confidence": true},
+	}, http.StatusCreated)
+	for task := 0; task < 20; task++ {
+		var batch []map[string]any
+		for i := 0; i < 10; i++ {
+			batch = append(batch, map[string]any{"item": (task + i*3) % 50, "worker": task, "dirty": i%2 == 0})
+		}
+		do(t, srv, "POST", "/v1/sessions/s/votes", map[string]any{"votes": batch, "end_task": true}, http.StatusOK)
+	}
+	got := do(t, srv, "GET", "/v1/sessions/s/estimates?ci=0.9&replicates=50", nil, http.StatusOK)
+	ci, ok := got["switch_ci"].(map[string]any)
+	if !ok || ci["level"].(float64) != 0.9 || ci["lo"].(float64) > ci["hi"].(float64) {
+		t.Fatalf("switch_ci = %v", got["switch_ci"])
+	}
+	do(t, srv, "GET", "/v1/sessions/s/estimates?ci=bogus", nil, http.StatusBadRequest)
+	do(t, srv, "GET", "/v1/sessions/s/estimates?ci=0.9&replicates=20000", nil, http.StatusBadRequest)
+	// Without ledger tracking the CI request fails cleanly.
+	do(t, srv, "POST", "/v1/sessions", map[string]any{"id": "noci", "items": 5}, http.StatusCreated)
+	do(t, srv, "POST", "/v1/sessions/noci/votes", map[string]any{
+		"votes": []map[string]any{{"item": 0, "worker": 0, "dirty": true}}, "end_task": true,
+	}, http.StatusOK)
+	do(t, srv, "GET", "/v1/sessions/noci/estimates?ci=0.9", nil, http.StatusBadRequest)
+}
+
+func TestSnapshotRestoreOverHTTP(t *testing.T) {
+	srv := newServer(serverConfig{})
+	do(t, srv, "POST", "/v1/sessions", map[string]any{"id": "s", "items": 30}, http.StatusCreated)
+	feed := func(from, to int) {
+		for task := from; task < to; task++ {
+			var batch []map[string]any
+			for i := 0; i < 6; i++ {
+				batch = append(batch, map[string]any{"item": (task*4 + i) % 30, "worker": task % 4, "dirty": i%3 != 0})
+			}
+			do(t, srv, "POST", "/v1/sessions/s/votes", map[string]any{"votes": batch, "end_task": true}, http.StatusOK)
+		}
+	}
+	feed(0, 15)
+	atSnap := do(t, srv, "GET", "/v1/sessions/s/estimates", nil, http.StatusOK)
+	created := do(t, srv, "POST", "/v1/sessions/s/snapshots", nil, http.StatusCreated)
+	snapID := created["snapshot_id"].(string)
+	if created["tasks"].(float64) != 15 {
+		t.Fatalf("snapshot = %v", created)
+	}
+
+	feed(15, 30)
+	after := do(t, srv, "GET", "/v1/sessions/s/estimates", nil, http.StatusOK)
+	if reflect.DeepEqual(after, atSnap) {
+		t.Fatal("post-snapshot ingest did not move estimates; test is vacuous")
+	}
+
+	listed := do(t, srv, "GET", "/v1/sessions/s/snapshots", nil, http.StatusOK)
+	if snaps := listed["snapshots"].([]any); len(snaps) != 1 {
+		t.Fatalf("snapshots = %v", snaps)
+	}
+
+	restored := do(t, srv, "POST", "/v1/sessions/s/restore",
+		map[string]any{"snapshot_id": snapID}, http.StatusOK)
+	for _, k := range []string{"nominal", "voting", "chao92", "v_chao92", "remaining", "tasks", "votes"} {
+		if restored[k] != atSnap[k] {
+			t.Fatalf("restored %s = %v, want %v", k, restored[k], atSnap[k])
+		}
+	}
+	do(t, srv, "POST", "/v1/sessions/s/restore",
+		map[string]any{"snapshot_id": "snap-404"}, http.StatusNotFound)
+
+	// Deleting the session drops its snapshots.
+	do(t, srv, "DELETE", "/v1/sessions/s", nil, http.StatusNoContent)
+	srv.snapMu.Lock()
+	nsnaps := len(srv.snaps["s"])
+	srv.snapMu.Unlock()
+	if nsnaps != 0 {
+		t.Fatalf("snapshots survived session deletion: %d", nsnaps)
+	}
+}
+
+func TestSnapshotCap(t *testing.T) {
+	srv := newServer(serverConfig{MaxSnapshots: 2})
+	do(t, srv, "POST", "/v1/sessions", map[string]any{"id": "s", "items": 5}, http.StatusCreated)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		created := do(t, srv, "POST", "/v1/sessions/s/snapshots", nil, http.StatusCreated)
+		ids = append(ids, created["snapshot_id"].(string))
+	}
+	listed := do(t, srv, "GET", "/v1/sessions/s/snapshots", nil, http.StatusOK)
+	snaps := listed["snapshots"].([]any)
+	if len(snaps) != 2 {
+		t.Fatalf("snapshot cap not applied: %v", snaps)
+	}
+	if got := snaps[0].(map[string]any)["snapshot_id"]; got != ids[1] {
+		t.Fatalf("oldest snapshot not evicted: kept %v, want %v first", got, ids[1])
+	}
+	// The evicted snapshot is gone.
+	do(t, srv, "POST", "/v1/sessions/s/restore", map[string]any{"snapshot_id": ids[0]}, http.StatusNotFound)
+}
+
+func TestMaxSessionsEviction(t *testing.T) {
+	srv := newServer(serverConfig{MaxSessions: 2})
+	for i := 0; i < 3; i++ {
+		do(t, srv, "POST", "/v1/sessions", map[string]any{"id": fmt.Sprintf("s%d", i), "items": 5}, http.StatusCreated)
+	}
+	h := do(t, srv, "GET", "/healthz", nil, http.StatusOK)
+	if h["sessions"].(float64) != 2 || h["evictions"].(float64) != 1 {
+		t.Fatalf("health after eviction = %v", h)
+	}
+}
+
+// TestEvictionDropsSnapshots pins the leak/resurrection fix: snapshots of
+// an LRU-evicted session are released, and a later session reusing the id
+// cannot restore the previous dataset's state.
+func TestEvictionDropsSnapshots(t *testing.T) {
+	srv := newServer(serverConfig{MaxSessions: 1})
+	do(t, srv, "POST", "/v1/sessions", map[string]any{"id": "s1", "items": 5}, http.StatusCreated)
+	created := do(t, srv, "POST", "/v1/sessions/s1/snapshots", nil, http.StatusCreated)
+	snapID := created["snapshot_id"].(string)
+
+	// Creating s2 evicts s1 (and must drop its snapshots).
+	do(t, srv, "POST", "/v1/sessions", map[string]any{"id": "s2", "items": 5}, http.StatusCreated)
+	srv.snapMu.Lock()
+	nsnaps := len(srv.snaps)
+	srv.snapMu.Unlock()
+	if nsnaps != 0 {
+		t.Fatalf("evicted session's snapshots retained: %d entries", nsnaps)
+	}
+
+	// A reincarnated s1 must not see the old snapshot.
+	do(t, srv, "POST", "/v1/sessions", map[string]any{"id": "s1", "items": 5}, http.StatusCreated)
+	do(t, srv, "POST", "/v1/sessions/s1/restore", map[string]any{"snapshot_id": snapID}, http.StatusNotFound)
+}

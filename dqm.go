@@ -17,6 +17,16 @@
 //	est := rec.Estimates()
 //	fmt.Println(est.Switch.Total, est.Switch.Total-est.Voting) // total, remaining
 //
+// For serving many datasets concurrently, use an Engine: it manages
+// independent, individually locked sessions (one per dataset) with batch
+// ingest, snapshot/restore of estimator state and LRU eviction. A Recorder
+// is exactly one such session; cmd/dqm-serve exposes the Engine over HTTP.
+//
+//	eng := dqm.NewEngine(dqm.EngineConfig{})
+//	sess, _ := eng.CreateSession("orders-2026-07", nItems, dqm.Defaults())
+//	_ = sess.AppendVotes(batch, true) // one task per batch
+//	est := sess.Estimates()
+//
 // Estimators implemented (paper section in parentheses):
 //
 //   - Nominal (§2.2.1) and Voting (§2.2.2) — descriptive baselines;
@@ -26,15 +36,20 @@
 //   - Switch (§4) — the paper's contribution: estimate remaining consensus
 //     switches and correct the majority vote with the trend-selected side.
 //
+// The estimator set is pluggable: estimators register by name (package
+// internal/estimator) and sessions select a subset via Config.Estimators.
 // The internal packages supply the full reproduction substrate (datasets,
 // crowd simulation, prioritization, experiment harness); see DESIGN.md.
 package dqm
 
 import (
+	"fmt"
+	"time"
+
+	"dqm/internal/engine"
 	"dqm/internal/estimator"
 	"dqm/internal/switchstat"
 	"dqm/internal/votes"
-	"dqm/internal/xrand"
 )
 
 // Vote is one worker judgment: worker Worker looked at item Item and marked
@@ -58,8 +73,8 @@ const (
 	StrictMajority
 )
 
-// Config tunes the estimator suite. The zero value is NOT valid; start from
-// Defaults.
+// Config tunes the estimator suite of a Recorder or session. The zero value
+// is NOT valid; start from Defaults.
 type Config struct {
 	// VChaoShift is the fingerprint shift s of vChao92 (§3.3); the paper
 	// uses 1.
@@ -76,12 +91,40 @@ type Config struct {
 	// Recorder.SwitchCI can compute bootstrap confidence intervals. Costs
 	// O(observed switches) extra memory.
 	TrackConfidence bool
+	// Estimators selects the evaluated estimators by registered name (see
+	// EstimatorNames); nil selects the full paper suite. Estimators left out
+	// report zero in Estimates.
+	Estimators []string
 }
 
 // Defaults returns the paper-faithful configuration.
 func Defaults() Config {
 	return Config{VChaoShift: 1, TiePolicy: TieFlip}
 }
+
+// suiteConfig lowers the public Config to the internal estimator
+// configuration shared by Recorder and Engine sessions.
+func (c Config) suiteConfig() estimator.SuiteConfig {
+	policy := switchstat.PolicyTieFlip
+	if c.TiePolicy == StrictMajority {
+		policy = switchstat.PolicyStrictMajority
+	}
+	return estimator.SuiteConfig{
+		Estimators: c.Estimators,
+		VChao92:    estimator.VChao92Config{Shift: c.VChaoShift},
+		Switch: estimator.SwitchConfig{
+			Policy:          policy,
+			TrendWindow:     c.TrendWindow,
+			CapToPopulation: c.CapToPopulation,
+			RetainLedgers:   c.TrackConfidence,
+		},
+		CapToPopulation: c.CapToPopulation,
+	}
+}
+
+// EstimatorNames returns every registered estimator name, sorted; these are
+// the values Config.Estimators accepts.
+func EstimatorNames() []string { return estimator.RegisteredNames() }
 
 // SwitchEstimate mirrors the full SWITCH output (§4): the corrected total,
 // the remaining positive/negative switch estimates ξ⁺/ξ⁻ and the detected
@@ -113,6 +156,9 @@ type Estimates struct {
 	VChao92 float64
 	// Switch is the paper's SWITCH estimate.
 	Switch SwitchEstimate
+	// Extra holds estimates of non-standard registered estimators selected
+	// via Config.Estimators, keyed by name; nil otherwise.
+	Extra map[string]float64
 }
 
 // Remaining returns the estimated number of still-undetected errors
@@ -126,56 +172,8 @@ func (e Estimates) Remaining() float64 {
 	return r
 }
 
-// Recorder ingests a vote stream and evaluates the estimator suite. It is
-// not safe for concurrent use; wrap it with a mutex if tasks arrive from
-// multiple goroutines.
-type Recorder struct {
-	suite  *estimator.Suite
-	ciSeed uint64
-}
-
-// NewRecorder creates a recorder over a population of n items (records, or
-// candidate pairs for entity resolution).
-func NewRecorder(n int, cfg Config) *Recorder {
-	policy := switchstat.PolicyTieFlip
-	if cfg.TiePolicy == StrictMajority {
-		policy = switchstat.PolicyStrictMajority
-	}
-	return &Recorder{
-		suite: estimator.NewSuite(n, estimator.SuiteConfig{
-			VChao92: estimator.VChao92Config{Shift: cfg.VChaoShift},
-			Switch: estimator.SwitchConfig{
-				Policy:          policy,
-				TrendWindow:     cfg.TrendWindow,
-				CapToPopulation: cfg.CapToPopulation,
-				RetainLedgers:   cfg.TrackConfidence,
-			},
-			CapToPopulation: cfg.CapToPopulation,
-		}),
-		ciSeed: 0x5eed,
-	}
-}
-
-// Record ingests one vote.
-func (r *Recorder) Record(item, worker int, dirty bool) {
-	label := votes.Clean
-	if dirty {
-		label = votes.Dirty
-	}
-	r.suite.Observe(votes.Vote{Item: item, Worker: worker, Label: label})
-}
-
-// RecordVote ingests one Vote.
-func (r *Recorder) RecordVote(v Vote) { r.Record(v.Item, v.Worker, v.Dirty) }
-
-// EndTask marks a task boundary. The SWITCH trend detector operates on the
-// per-task majority series, so call this whenever one worker's task
-// completes.
-func (r *Recorder) EndTask() { r.suite.EndTask() }
-
-// Estimates evaluates all estimators at the current position.
-func (r *Recorder) Estimates() Estimates {
-	e := r.suite.EstimateAll()
+// fromInternal converts the internal estimate snapshot.
+func fromInternal(e estimator.Estimates) Estimates {
 	return Estimates{
 		Nominal: e.Nominal,
 		Voting:  e.Voting,
@@ -189,29 +187,8 @@ func (r *Recorder) Estimates() Estimates {
 			TrendUp:           e.Switch.Trend == estimator.TrendUp,
 			TrendDown:         e.Switch.Trend == estimator.TrendDown,
 		},
+		Extra: e.Extra,
 	}
-}
-
-// MajorityDirty reports the current majority consensus for an item.
-func (r *Recorder) MajorityDirty(item int) bool { return r.suite.Matrix.MajorityDirty(item) }
-
-// NumItems returns the population size N.
-func (r *Recorder) NumItems() int { return r.suite.Matrix.NumItems() }
-
-// NumWorkers returns the number of distinct workers seen.
-func (r *Recorder) NumWorkers() int { return r.suite.Matrix.NumWorkers() }
-
-// TotalVotes returns the number of votes ingested.
-func (r *Recorder) TotalVotes() int64 { return r.suite.Matrix.TotalVotes() }
-
-// Reset clears the recorder.
-func (r *Recorder) Reset() { r.suite.Reset() }
-
-// Extrapolate is the §2.2.3 predictive baseline: scale the errsFound
-// discovered in a perfectly cleaned sample of sampleSize up to the
-// population.
-func Extrapolate(errsFound, sampleSize, population int) float64 {
-	return estimator.Extrapolate(errsFound, sampleSize, population)
 }
 
 // ConfidenceInterval is a two-sided bootstrap percentile interval.
@@ -223,11 +200,167 @@ type ConfidenceInterval struct {
 // Contains reports whether v lies within the interval.
 func (c ConfidenceInterval) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
 
+// Recorder ingests a vote stream and evaluates the estimator suite. It is
+// exactly one (standalone) engine session and shares Session's entire
+// method set — so, unlike in earlier releases, it IS safe for concurrent
+// use; votes are serialized in arrival order.
+type Recorder struct {
+	Session
+}
+
+// NewRecorder creates a recorder over a population of n items (records, or
+// candidate pairs for entity resolution). It panics on an unregistered name
+// in Config.Estimators; validate user input with EstimatorNames first, or
+// create sessions through an Engine, which returns an error instead.
+func NewRecorder(n int, cfg Config) *Recorder {
+	return &Recorder{Session{s: engine.NewSession("", n, engine.SessionConfig{Suite: cfg.suiteConfig()})}}
+}
+
+// Extrapolate is the §2.2.3 predictive baseline: scale the errsFound
+// discovered in a perfectly cleaned sample of sampleSize up to the
+// population.
+func Extrapolate(errsFound, sampleSize, population int) float64 {
+	return estimator.Extrapolate(errsFound, sampleSize, population)
+}
+
+// EngineConfig parameterizes an Engine.
+type EngineConfig struct {
+	// Shards is the number of independently locked session-table shards
+	// (rounded up to a power of two); 0 selects 16. Raise it when many
+	// goroutines create and look up sessions concurrently.
+	Shards int
+	// MaxSessions bounds the number of live sessions; creating one more
+	// evicts the least-recently-used session first. 0 means unlimited.
+	MaxSessions int
+	// OnEvict, when set, is called with the id of every session removed by
+	// the MaxSessions policy (not by DeleteSession), after removal — use it
+	// to release any per-session state held outside the engine.
+	OnEvict func(sessionID string)
+}
+
+// Engine manages many concurrent, independent estimation sessions — one per
+// dataset being cleaned. All methods are safe for concurrent use.
+type Engine struct {
+	e *engine.Engine
+}
+
+// NewEngine creates an engine.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{e: engine.New(engine.Config{
+		Shards:      cfg.Shards,
+		MaxSessions: cfg.MaxSessions,
+		OnEvict:     cfg.OnEvict,
+	})}
+}
+
+// CreateSession registers a new session over a population of n items. It
+// fails on an empty or duplicate id, a non-positive population, or an
+// unregistered estimator name in cfg.Estimators.
+func (e *Engine) CreateSession(id string, n int, cfg Config) (*Session, error) {
+	if err := estimator.ValidateNames(cfg.Estimators); err != nil {
+		return nil, err
+	}
+	s, err := e.e.Create(id, n, engine.SessionConfig{Suite: cfg.suiteConfig()})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s}, nil
+}
+
+// Session returns the session registered under id.
+func (e *Engine) Session(id string) (*Session, bool) {
+	s, ok := e.e.Get(id)
+	if !ok {
+		return nil, false
+	}
+	return &Session{s: s}, true
+}
+
+// DeleteSession removes the session registered under id, reporting whether
+// it existed.
+func (e *Engine) DeleteSession(id string) bool { return e.e.Delete(id) }
+
+// SessionIDs returns every live session id, sorted.
+func (e *Engine) SessionIDs() []string { return e.e.IDs() }
+
+// NumSessions returns the number of live sessions.
+func (e *Engine) NumSessions() int { return e.e.Len() }
+
+// Evictions returns the number of sessions evicted by the MaxSessions
+// policy.
+func (e *Engine) Evictions() int64 { return e.e.Evictions() }
+
+// Session is one engine-managed dataset session. All methods are safe for
+// concurrent use; votes within a session are serialized in arrival order.
+type Session struct {
+	s *engine.Session
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.s.ID() }
+
+// CreatedAt returns the session creation time.
+func (s *Session) CreatedAt() time.Time { return s.s.CreatedAt() }
+
+// LastUsed returns the time of the most recent operation.
+func (s *Session) LastUsed() time.Time { return s.s.LastUsed() }
+
+// EstimatorNames returns the session's selected estimators in evaluation
+// order.
+func (s *Session) EstimatorNames() []string { return s.s.EstimatorNames() }
+
+// Record ingests one vote. It panics on an out-of-range item; external
+// input should go through AppendVotes, which validates and rejects whole
+// batches atomically.
+func (s *Session) Record(item, worker int, dirty bool) { s.s.Record(item, worker, dirty) }
+
+// RecordVote ingests one Vote.
+func (s *Session) RecordVote(v Vote) { s.Record(v.Item, v.Worker, v.Dirty) }
+
+// AppendVotes ingests a batch of votes under one lock acquisition and, when
+// endTask is set, marks a task boundary after the batch. Items outside
+// [0, N) fail the whole batch before any vote is applied.
+func (s *Session) AppendVotes(batch []Vote, endTask bool) error {
+	vs := make([]votes.Vote, len(batch))
+	for i, v := range batch {
+		label := votes.Clean
+		if v.Dirty {
+			label = votes.Dirty
+		}
+		vs[i] = votes.Vote{Item: v.Item, Worker: v.Worker, Label: label}
+	}
+	return s.s.Append(vs, endTask)
+}
+
+// EndTask marks a task boundary.
+func (s *Session) EndTask() { s.s.EndTask() }
+
+// Tasks returns the number of completed tasks.
+func (s *Session) Tasks() int64 { return s.s.Tasks() }
+
+// Estimates evaluates all selected estimators at the current position.
+func (s *Session) Estimates() Estimates { return fromInternal(s.s.Estimates()) }
+
+// MajorityDirty reports the current majority consensus for an item.
+func (s *Session) MajorityDirty(item int) bool { return s.s.MajorityDirty(item) }
+
+// NumItems returns the population size N.
+func (s *Session) NumItems() int { return s.s.NumItems() }
+
+// NumWorkers returns the number of distinct workers seen.
+func (s *Session) NumWorkers() int { return s.s.NumWorkers() }
+
+// TotalVotes returns the number of votes ingested.
+func (s *Session) TotalVotes() int64 { return s.s.TotalVotes() }
+
+// Reset clears the vote stream and every estimator, keeping the session
+// registered.
+func (s *Session) Reset() { s.s.Reset() }
+
 // SwitchCI returns a bootstrap confidence interval for the SWITCH total
-// estimate by resampling items (replicates resamples, e.g. 200; level e.g.
-// 0.95). The recorder must have been built with Config.TrackConfidence.
-func (r *Recorder) SwitchCI(replicates int, level float64) (ConfidenceInterval, error) {
-	ci, err := r.suite.Switch.BootstrapSwitch(replicates, level, xrand.New(r.ciSeed))
+// estimate. The session must have been created with Config.TrackConfidence.
+func (s *Session) SwitchCI(replicates int, level float64) (ConfidenceInterval, error) {
+	ci, err := s.s.SwitchCI(replicates, level)
 	if err != nil {
 		return ConfidenceInterval{}, err
 	}
@@ -236,10 +369,44 @@ func (r *Recorder) SwitchCI(replicates int, level float64) (ConfidenceInterval, 
 
 // Chao92CI returns a bootstrap confidence interval for the Chao92 total
 // estimate.
-func (r *Recorder) Chao92CI(replicates int, level float64) (ConfidenceInterval, error) {
-	ci, err := estimator.BootstrapChao92(r.suite.Matrix, replicates, level, xrand.New(r.ciSeed))
+func (s *Session) Chao92CI(replicates int, level float64) (ConfidenceInterval, error) {
+	ci, err := s.s.Chao92CI(replicates, level)
 	if err != nil {
 		return ConfidenceInterval{}, err
 	}
 	return ConfidenceInterval{Lo: ci.Lo, Hi: ci.Hi, Level: ci.Level}, nil
 }
+
+// Snapshot captures the session's full estimator state as an immutable deep
+// copy; the session keeps ingesting afterwards.
+func (s *Session) Snapshot() *Snapshot { return &Snapshot{s: s.s.Snapshot()} }
+
+// Restore replaces the session's estimator state with the snapshot's. The
+// snapshot stays valid and can seed further restores. The populations must
+// match.
+func (s *Session) Restore(snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("dqm: restore from nil snapshot")
+	}
+	return s.s.Restore(snap.s)
+}
+
+// Snapshot is a point-in-time deep copy of a session's estimator state.
+type Snapshot struct {
+	s *engine.Snapshot
+}
+
+// Tasks returns the number of completed tasks at the snapshot point.
+func (sn *Snapshot) Tasks() int64 { return sn.s.Tasks() }
+
+// TotalVotes returns the number of votes ingested at the snapshot point.
+func (sn *Snapshot) TotalVotes() int64 { return sn.s.TotalVotes() }
+
+// NumItems returns the snapshot's population size.
+func (sn *Snapshot) NumItems() int { return sn.s.NumItems() }
+
+// TakenAt returns when the snapshot was captured.
+func (sn *Snapshot) TakenAt() time.Time { return sn.s.TakenAt() }
+
+// Estimates evaluates the snapshot's estimators.
+func (sn *Snapshot) Estimates() Estimates { return fromInternal(sn.s.Estimates()) }

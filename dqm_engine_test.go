@@ -1,0 +1,198 @@
+package dqm
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestEngineSessionLifecycle(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	sess, err := eng.CreateSession("ds-1", 10, Defaults())
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if sess.ID() != "ds-1" || sess.NumItems() != 10 {
+		t.Fatalf("session identity wrong: %q n=%d", sess.ID(), sess.NumItems())
+	}
+	if _, err := eng.CreateSession("ds-1", 10, Defaults()); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := eng.CreateSession("ds-2", 10, Config{Estimators: []string{"NOPE"}}); err == nil {
+		t.Fatal("unknown estimator name accepted")
+	}
+	got, ok := eng.Session("ds-1")
+	if !ok || got.ID() != "ds-1" {
+		t.Fatal("Session lookup failed")
+	}
+	if ids := eng.SessionIDs(); !reflect.DeepEqual(ids, []string{"ds-1"}) {
+		t.Fatalf("SessionIDs = %v", ids)
+	}
+	if !eng.DeleteSession("ds-1") || eng.NumSessions() != 0 {
+		t.Fatal("DeleteSession bookkeeping wrong")
+	}
+}
+
+// TestSessionMatchesRecorder pins the compat contract: a session fed the
+// same votes as a Recorder reports identical estimates (the Recorder IS one
+// session).
+func TestSessionMatchesRecorder(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	sess, err := eng.CreateSession("ds", 50, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(50, Defaults())
+	for task := 0; task < 30; task++ {
+		var batch []Vote
+		for i := 0; i < 8; i++ {
+			v := Vote{Item: (task*3 + i) % 50, Worker: task % 7, Dirty: (task+i)%4 != 0}
+			batch = append(batch, v)
+			rec.RecordVote(v)
+		}
+		rec.EndTask()
+		if err := sess.AppendVotes(batch, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := sess.Estimates(), rec.Estimates(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("session %+v != recorder %+v", got, want)
+	}
+	if sess.Tasks() != 30 || sess.TotalVotes() != rec.TotalVotes() {
+		t.Fatalf("stream counters diverged: tasks=%d votes=%d vs %d", sess.Tasks(), sess.TotalVotes(), rec.TotalVotes())
+	}
+}
+
+func TestSessionAppendValidates(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	sess, err := eng.CreateSession("ds", 5, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.AppendVotes([]Vote{{Item: 9, Worker: 0, Dirty: true}}, true); err == nil {
+		t.Fatal("out-of-range item accepted")
+	}
+	if sess.TotalVotes() != 0 {
+		t.Fatal("rejected batch partially applied")
+	}
+}
+
+func TestSessionSnapshotRestore(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	sess, err := eng.CreateSession("ds", 40, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(from, to int) {
+		for task := from; task < to; task++ {
+			var batch []Vote
+			for i := 0; i < 6; i++ {
+				batch = append(batch, Vote{Item: (task*5 + i) % 40, Worker: task % 5, Dirty: i%3 != 0})
+			}
+			if err := sess.AppendVotes(batch, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed(0, 20)
+	snap := sess.Snapshot()
+	if snap.Tasks() != 20 || snap.NumItems() != 40 {
+		t.Fatalf("snapshot metadata wrong: %d tasks, %d items", snap.Tasks(), snap.NumItems())
+	}
+	atSnap := sess.Estimates()
+	if got := snap.Estimates(); !reflect.DeepEqual(got, atSnap) {
+		t.Fatalf("snapshot estimates %+v != session %+v", got, atSnap)
+	}
+	feed(20, 40)
+	final := sess.Estimates()
+	if err := sess.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := sess.Estimates(); !reflect.DeepEqual(got, atSnap) {
+		t.Fatalf("restored estimates %+v != snapshot %+v", got, atSnap)
+	}
+	feed(20, 40)
+	if got := sess.Estimates(); !reflect.DeepEqual(got, final) {
+		t.Fatalf("replay after restore %+v != original %+v", got, final)
+	}
+	if err := sess.Restore(nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+}
+
+func TestSessionEstimatorSelection(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	cfg := Defaults()
+	cfg.Estimators = []string{"VOTING", "SWITCH"}
+	sess, err := eng.CreateSession("ds", 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.EstimatorNames(); !reflect.DeepEqual(got, cfg.Estimators) {
+		t.Fatalf("EstimatorNames = %v, want %v", got, cfg.Estimators)
+	}
+	for i := 0; i < 10; i++ {
+		sess.Record(i%5, i, true)
+	}
+	sess.EndTask()
+	e := sess.Estimates()
+	if e.Voting == 0 || e.Switch.Total == 0 {
+		t.Fatalf("selected estimators missing: %+v", e)
+	}
+	if e.Chao92 != 0 || e.Nominal != 0 {
+		t.Fatalf("unselected estimators computed: %+v", e)
+	}
+}
+
+func TestEstimatorNamesIncludesStandardSuite(t *testing.T) {
+	names := EstimatorNames()
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	for _, want := range []string{"NOMINAL", "VOTING", "CHAO92", "V-CHAO", "SWITCH"} {
+		if !set[want] {
+			t.Errorf("EstimatorNames missing %q (got %v)", want, names)
+		}
+	}
+}
+
+// TestEngineConcurrentSessions checks cross-session isolation under
+// concurrency: every session sees exactly its own stream.
+func TestEngineConcurrentSessions(t *testing.T) {
+	eng := NewEngine(EngineConfig{Shards: 8})
+	const nSessions = 6
+	var wg sync.WaitGroup
+	for g := 0; g < nSessions; g++ {
+		sess, err := eng.CreateSession(fmt.Sprintf("ds-%d", g), 30, Defaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(sess *Session, g int) {
+			defer wg.Done()
+			for task := 0; task < 20; task++ {
+				var batch []Vote
+				for i := 0; i <= g; i++ { // session g ingests g+1 votes/task
+					batch = append(batch, Vote{Item: (task + i) % 30, Worker: task, Dirty: true})
+				}
+				if err := sess.AppendVotes(batch, true); err != nil {
+					t.Error(err)
+					return
+				}
+				sess.Estimates()
+			}
+		}(sess, g)
+	}
+	wg.Wait()
+	for g := 0; g < nSessions; g++ {
+		sess, ok := eng.Session(fmt.Sprintf("ds-%d", g))
+		if !ok {
+			t.Fatalf("session ds-%d vanished", g)
+		}
+		if got, want := sess.TotalVotes(), int64(20*(g+1)); got != want {
+			t.Fatalf("session ds-%d votes = %d, want %d", g, got, want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"dqm/internal/estimator"
+	"dqm/internal/votes"
+)
+
+// syntheticBatch builds one task-sized batch of votes over n items.
+func syntheticBatch(n, size, round int) []votes.Vote {
+	batch := make([]votes.Vote, size)
+	for i := range batch {
+		label := votes.Clean
+		if (round+i)%3 == 0 {
+			label = votes.Dirty
+		}
+		batch[i] = votes.Vote{Item: (round*7 + i) % n, Worker: round % 25, Label: label}
+	}
+	return batch
+}
+
+// BenchmarkSessionIngest measures single-session streaming ingest through
+// Append (one lock acquisition per 10-vote task).
+func BenchmarkSessionIngest(b *testing.B) {
+	const n, batchSize = 10000, 10
+	s := NewSession("bench", n, SessionConfig{
+		Suite: estimator.SuiteConfig{WithoutHistory: true},
+	})
+	batches := make([][]votes.Vote, 64)
+	for i := range batches {
+		batches[i] = syntheticBatch(n, batchSize, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(batches[i%len(batches)], true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "votes/s")
+}
+
+// BenchmarkSessionIngestAndEstimate interleaves ingest with estimate reads,
+// the serving hot path (append a task, read the metric).
+func BenchmarkSessionIngestAndEstimate(b *testing.B) {
+	const n, batchSize = 10000, 10
+	s := NewSession("bench", n, SessionConfig{
+		Suite: estimator.SuiteConfig{WithoutHistory: true},
+	})
+	batches := make([][]votes.Vote, 64)
+	for i := range batches {
+		batches[i] = syntheticBatch(n, batchSize, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(batches[i%len(batches)], true); err != nil {
+			b.Fatal(err)
+		}
+		s.Estimates()
+	}
+}
+
+// BenchmarkEngineParallelIngest measures aggregate throughput with one
+// session per worker goroutine — the many-concurrent-datasets shape
+// dqm-serve is built for.
+func BenchmarkEngineParallelIngest(b *testing.B) {
+	const n, batchSize = 10000, 10
+	e := New(Config{Shards: 32})
+	var sessionID atomic.Int64
+	batches := make([][]votes.Vote, 64)
+	for i := range batches {
+		batches[i] = syntheticBatch(n, batchSize, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := fmt.Sprintf("bench-%d", sessionID.Add(1))
+		s, err := e.Create(id, n, SessionConfig{
+			Suite: estimator.SuiteConfig{WithoutHistory: true},
+		})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		i := 0
+		for pb.Next() {
+			if err := s.Append(batches[i%len(batches)], true); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "votes/s")
+}
+
+// BenchmarkSessionSnapshot measures the cost of a point-in-time snapshot of
+// a loaded session.
+func BenchmarkSessionSnapshot(b *testing.B) {
+	const n = 10000
+	s := NewSession("bench", n, SessionConfig{
+		Suite: estimator.SuiteConfig{WithoutHistory: true},
+	})
+	for i := 0; i < 2000; i++ {
+		if err := s.Append(syntheticBatch(n, 10, i), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Snapshot()
+	}
+}

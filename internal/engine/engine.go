@@ -1,0 +1,209 @@
+// Package engine implements the concurrent multi-session estimation engine
+// behind the public dqm API and cmd/dqm-serve: many independent dataset
+// sessions, each wrapping one estimator suite, behind a mutex-sharded
+// session table. The DQM estimate is consulted continuously while cleaning
+// is in flight, so the engine is built for a long-lived service shape —
+// streaming vote ingest, point-in-time snapshot/restore of estimator state,
+// and LRU eviction to bound memory under millions of short-lived datasets.
+//
+// Concurrency model: session lookup shards an FNV hash of the session id
+// over independently locked maps, so create/get/delete traffic scales with
+// shard count; each session serializes its own vote stream with a private
+// mutex (votes within a session form one logical stream — cross-session
+// ingest is what runs in parallel).
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Shards is the number of independently locked session-table shards,
+	// rounded up to a power of two. 0 selects 16.
+	Shards int
+	// MaxSessions bounds the number of live sessions; creating one more
+	// evicts the least-recently-used session. 0 means unlimited.
+	MaxSessions int
+	// OnEvict, when set, is called with the id of every session removed by
+	// the MaxSessions policy (not by explicit Delete), after removal and
+	// outside any engine lock — layers holding per-session state (e.g.
+	// server-side snapshots) use it to release theirs.
+	OnEvict func(id string)
+}
+
+// Engine manages many concurrent estimation sessions.
+type Engine struct {
+	shards  []shard
+	mask    uint64
+	max     int
+	onEvict func(id string)
+	count   atomic.Int64
+	// evictions counts sessions dropped by the MaxSessions policy.
+	evictions atomic.Int64
+}
+
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 16
+	}
+	// Round up to a power of two so shard selection is a mask, not a mod.
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	e := &Engine{
+		shards:  make([]shard, size),
+		mask:    uint64(size - 1),
+		max:     cfg.MaxSessions,
+		onEvict: cfg.OnEvict,
+	}
+	for i := range e.shards {
+		e.shards[i].sessions = make(map[string]*Session)
+	}
+	return e
+}
+
+// shardFor hashes the session id (FNV-1a) onto a shard.
+func (e *Engine) shardFor(id string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return &e.shards[h&e.mask]
+}
+
+// Create registers a new session over a population of n items. It fails on
+// an empty or duplicate id or a non-positive population. When MaxSessions is
+// reached, the least-recently-used session is evicted first.
+func (e *Engine) Create(id string, n int, cfg SessionConfig) (*Session, error) {
+	if id == "" {
+		return nil, fmt.Errorf("engine: empty session id")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("engine: population size %d must be positive", n)
+	}
+	// Reject duplicates before evicting or building anything: a retried
+	// create of an existing id must not cost an unrelated session its state
+	// (the insert below re-checks under the shard lock, so a concurrent
+	// same-id create still cannot slip through).
+	if _, dup := e.Get(id); dup {
+		return nil, fmt.Errorf("engine: session %q already exists", id)
+	}
+	if e.max > 0 {
+		for int(e.count.Load()) >= e.max {
+			if !e.evictLRU(id) {
+				break
+			}
+		}
+	}
+	// Build the suite outside the shard lock: construction is O(N) and must
+	// not stall unrelated lookups on the same shard.
+	s := NewSession(id, n, cfg)
+	sh := e.shardFor(id)
+	sh.mu.Lock()
+	if _, dup := sh.sessions[id]; dup {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("engine: session %q already exists", id)
+	}
+	sh.sessions[id] = s
+	sh.mu.Unlock()
+	e.count.Add(1)
+	return s, nil
+}
+
+// evictLRU removes the least-recently-used session, skipping keep (the id
+// about to be created). It reports whether anything was evicted.
+func (e *Engine) evictLRU(keep string) bool {
+	var (
+		victim     string
+		victimLast int64
+	)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		for id, s := range sh.sessions {
+			if id == keep {
+				continue
+			}
+			if last := s.lastUsed.Load(); victim == "" || last < victimLast {
+				victim, victimLast = id, last
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if victim == "" {
+		return false
+	}
+	if e.Delete(victim) {
+		e.evictions.Add(1)
+		if e.onEvict != nil {
+			e.onEvict(victim)
+		}
+		return true
+	}
+	return false
+}
+
+// Get returns the session registered under id.
+func (e *Engine) Get(id string) (*Session, bool) {
+	sh := e.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+// Delete removes the session registered under id, reporting whether it
+// existed. Callers still holding the *Session can keep using it; it is
+// simply detached from the engine.
+func (e *Engine) Delete(id string) bool {
+	sh := e.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if ok {
+		e.count.Add(-1)
+	}
+	return ok
+}
+
+// Len returns the number of live sessions.
+func (e *Engine) Len() int { return int(e.count.Load()) }
+
+// Evictions returns the number of sessions evicted by the MaxSessions
+// policy.
+func (e *Engine) Evictions() int64 { return e.evictions.Load() }
+
+// IDs returns every live session id, sorted.
+func (e *Engine) IDs() []string {
+	out := make([]string, 0, e.Len())
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		for id := range sh.sessions {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}

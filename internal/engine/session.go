@@ -1,0 +1,271 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dqm/internal/estimator"
+	"dqm/internal/votes"
+	"dqm/internal/xrand"
+)
+
+// defaultCISeed mirrors the historical dqm.Recorder bootstrap seed so the
+// compat wrapper stays bit-identical.
+const defaultCISeed = 0x5eed
+
+// SessionConfig parameterizes one dataset session.
+type SessionConfig struct {
+	// Suite selects and parameterizes the estimators (see
+	// estimator.SuiteConfig); the zero value is the paper-faithful default
+	// set.
+	Suite estimator.SuiteConfig
+	// CISeed seeds the bootstrap confidence-interval RNG; 0 selects the
+	// default.
+	CISeed uint64
+}
+
+// Session is one independent dataset being cleaned: a vote stream, the
+// selected estimator suite over it, and snapshot/restore of the full
+// estimator state. All methods are safe for concurrent use; a single mutex
+// serializes them (votes within one session form one logical stream, so
+// there is nothing to parallelize inside a session — concurrency comes from
+// many sessions).
+type Session struct {
+	id      string
+	created time.Time
+
+	mu    sync.Mutex
+	suite *estimator.Suite
+	tasks int64
+
+	ciSeed   uint64
+	lastUsed atomic.Int64 // unix nanos; read lock-free by the evictor
+}
+
+// NewSession creates a standalone session over a population of n items.
+// Sessions managed by an Engine are created via Engine.Create instead.
+func NewSession(id string, n int, cfg SessionConfig) *Session {
+	if cfg.CISeed == 0 {
+		cfg.CISeed = defaultCISeed
+	}
+	now := time.Now()
+	s := &Session{
+		id:      id,
+		created: now,
+		suite:   estimator.NewSuite(n, cfg.Suite),
+		ciSeed:  cfg.CISeed,
+	}
+	s.lastUsed.Store(now.UnixNano())
+	return s
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// CreatedAt returns the creation time.
+func (s *Session) CreatedAt() time.Time { return s.created }
+
+// LastUsed returns the time of the most recent operation.
+func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) }
+
+func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+// Record ingests one vote. It panics on an out-of-range item, mirroring
+// slice semantics; external input should go through Append, which validates.
+func (s *Session) Record(item, worker int, dirty bool) {
+	label := votes.Clean
+	if dirty {
+		label = votes.Dirty
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.suite.Observe(votes.Vote{Item: item, Worker: worker, Label: label})
+	s.touch()
+}
+
+// Append ingests a batch of votes under one lock acquisition and, when
+// endTask is set, marks a task boundary after the batch. It validates item
+// ranges up front — the whole batch is rejected before any vote is applied,
+// so a bad request cannot leave a half-ingested task behind. This is the
+// boundary external (HTTP) input crosses.
+func (s *Session) Append(batch []votes.Vote, endTask bool) error {
+	n := s.NumItems()
+	for i, v := range batch {
+		if v.Item < 0 || v.Item >= n {
+			return fmt.Errorf("engine: vote %d: item %d outside population [0, %d)", i, v.Item, n)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range batch {
+		s.suite.Observe(v)
+	}
+	if endTask {
+		s.tasks++
+		s.suite.EndTask()
+	}
+	s.touch()
+	return nil
+}
+
+// EndTask marks a task boundary. The SWITCH trend detector operates on the
+// per-task majority series.
+func (s *Session) EndTask() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tasks++
+	s.suite.EndTask()
+	s.touch()
+}
+
+// Tasks returns the number of completed tasks.
+func (s *Session) Tasks() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tasks
+}
+
+// Estimates evaluates every selected estimator at the current position.
+func (s *Session) Estimates() estimator.Estimates {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch()
+	return s.suite.EstimateAll()
+}
+
+// EstimatorNames returns the session's selected estimators in evaluation
+// order.
+func (s *Session) EstimatorNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.suite.Names()
+}
+
+// NumItems returns the population size N.
+func (s *Session) NumItems() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.suite.NumItems()
+}
+
+// NumWorkers returns the number of distinct workers seen.
+func (s *Session) NumWorkers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.suite.Matrix.NumWorkers()
+}
+
+// TotalVotes returns the number of votes ingested.
+func (s *Session) TotalVotes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.suite.Matrix.TotalVotes()
+}
+
+// MajorityDirty reports the current majority consensus for an item.
+func (s *Session) MajorityDirty(item int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.suite.Matrix.MajorityDirty(item)
+}
+
+// Reset clears the vote stream and every estimator, keeping the session
+// registered.
+func (s *Session) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.suite.Reset()
+	s.tasks = 0
+	s.touch()
+}
+
+// SwitchCI computes a bootstrap confidence interval for the SWITCH total
+// estimate. The session must have been configured with
+// SwitchConfig.RetainLedgers.
+func (s *Session) SwitchCI(replicates int, level float64) (estimator.CI, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.suite.Switch == nil {
+		return estimator.CI{}, fmt.Errorf("engine: session %q has no SWITCH estimator", s.id)
+	}
+	return s.suite.Switch.BootstrapSwitch(replicates, level, xrand.New(s.ciSeed))
+}
+
+// Chao92CI computes a bootstrap confidence interval for the Chao92 total
+// estimate.
+func (s *Session) Chao92CI(replicates int, level float64) (estimator.CI, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return estimator.BootstrapChao92(s.suite.Matrix, replicates, level, xrand.New(s.ciSeed))
+}
+
+// Snapshot captures the full estimator state (matrix, trackers, trend
+// series) as an immutable deep copy. Taking a snapshot does not block other
+// sessions and the session keeps ingesting afterwards.
+func (s *Session) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Snapshot{
+		suite: s.suite.Clone(),
+		tasks: s.tasks,
+		taken: time.Now(),
+	}
+}
+
+// Restore replaces the session's estimator state with the snapshot's. The
+// snapshot remains valid and can be restored again (the state is cloned on
+// the way in). The snapshot must come from a session over the same
+// population size; N is immutable for a session's lifetime, which keeps
+// Append's range validation race-free.
+func (s *Session) Restore(sn *Snapshot) error {
+	if sn == nil || sn.suite == nil {
+		return fmt.Errorf("engine: restore from empty snapshot")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Hold the snapshot's own lock while cloning: Snapshot.Estimates mutates
+	// scratch state inside the suite, so an unguarded concurrent Clone would
+	// race (sn.mu is always the innermost lock; nothing under it takes s.mu).
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if got, want := sn.suite.NumItems(), s.suite.NumItems(); got != want {
+		return fmt.Errorf("engine: snapshot population %d does not match session population %d", got, want)
+	}
+	s.suite = sn.suite.Clone()
+	s.tasks = sn.tasks
+	s.touch()
+	return nil
+}
+
+// Snapshot is a point-in-time deep copy of a session's estimator state. It
+// is logically immutable: restores clone it again, so one snapshot can seed
+// many restores (or sessions).
+type Snapshot struct {
+	// mu serializes Estimates: evaluation reuses internal scratch buffers,
+	// so even read-style access must not run concurrently.
+	mu    sync.Mutex
+	suite *estimator.Suite
+	tasks int64
+	taken time.Time
+}
+
+// Tasks returns the number of completed tasks at the snapshot point.
+func (sn *Snapshot) Tasks() int64 { return sn.tasks }
+
+// TakenAt returns when the snapshot was captured.
+func (sn *Snapshot) TakenAt() time.Time { return sn.taken }
+
+// NumItems returns the snapshot's population size.
+func (sn *Snapshot) NumItems() int { return sn.suite.NumItems() }
+
+// TotalVotes returns the number of votes ingested at the snapshot point.
+func (sn *Snapshot) TotalVotes() int64 { return sn.suite.Matrix.TotalVotes() }
+
+// Estimates evaluates the snapshot's estimators.
+func (sn *Snapshot) Estimates() estimator.Estimates {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.suite.EstimateAll()
+}

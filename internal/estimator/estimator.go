@@ -367,6 +367,21 @@ func (e *SwitchEstimator) Estimate() SwitchEstimate {
 	}
 }
 
+// Clone returns a deep, independent copy of the estimator (tracker, trend
+// series and sticky trend state included), so a snapshot taken mid-stream
+// continues exactly where the original was.
+func (e *SwitchEstimator) Clone() *SwitchEstimator {
+	return &SwitchEstimator{
+		cfg:        e.cfg,
+		tracker:    e.tracker.Clone(),
+		n:          e.n,
+		majHistory: append([]int64(nil), e.majHistory...),
+		majPrefix:  append([]float64(nil), e.majPrefix...),
+		tasks:      e.tasks,
+		lastTrend:  e.lastTrend,
+	}
+}
+
 // Reset clears the estimator for a fresh permutation replay.
 func (e *SwitchEstimator) Reset() {
 	e.tracker.Reset()

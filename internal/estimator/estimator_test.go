@@ -344,8 +344,8 @@ func TestSuiteByName(t *testing.T) {
 
 func TestSuiteDefaultShift(t *testing.T) {
 	s := NewSuite(10, SuiteConfig{})
-	if s.vcfg.Shift != 1 {
-		t.Fatalf("default vChao92 shift = %d, want 1", s.vcfg.Shift)
+	if got := s.Config().VChao92.Shift; got != 1 {
+		t.Fatalf("default vChao92 shift = %d, want 1", got)
 	}
 }
 

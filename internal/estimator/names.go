@@ -1,0 +1,57 @@
+package estimator
+
+// Canonical estimator names used across the registry, the experiment harness,
+// CLI output and EXPERIMENTS.md. They match the labels in the paper's
+// figures. This file is the single source of truth: the registry registers
+// factories under these constants, Estimates.ByName resolves through the same
+// table, and the experiment report layer orders series with StandardNames —
+// adding an estimator in one place cannot silently desync the others.
+const (
+	NameNominal = "NOMINAL"
+	NameVoting  = "VOTING"
+	NameChao92  = "CHAO92"
+	NameVChao92 = "V-CHAO"
+	NameSwitch  = "SWITCH"
+
+	// NameExtrapolate labels the §2.2.3 predictive baseline in figures; it is
+	// sample-driven rather than vote-stream-driven, so it has no registry
+	// factory.
+	NameExtrapolate = "EXTRAPOL"
+	// NameGT labels ground truth, where plotted.
+	NameGT = "GT"
+)
+
+// standardEstimate pairs a name with its accessor into an Estimates snapshot.
+// The table drives both ByName and StandardNames, so the two cannot drift.
+var standardEstimates = []struct {
+	name string
+	get  func(Estimates) float64
+}{
+	{NameNominal, func(e Estimates) float64 { return e.Nominal }},
+	{NameVoting, func(e Estimates) float64 { return e.Voting }},
+	{NameChao92, func(e Estimates) float64 { return e.Chao92 }},
+	{NameVChao92, func(e Estimates) float64 { return e.VChao92 }},
+	{NameSwitch, func(e Estimates) float64 { return e.Switch.Total }},
+}
+
+// StandardNames returns the built-in estimator names in canonical figure
+// order (the order Suite evaluates them in). The slice is fresh on every
+// call; callers may modify it.
+func StandardNames() []string {
+	out := make([]string, len(standardEstimates))
+	for i, s := range standardEstimates {
+		out[i] = s.name
+	}
+	return out
+}
+
+// IsStandardName reports whether name is one of the built-in estimator
+// names.
+func IsStandardName(name string) bool {
+	for _, s := range standardEstimates {
+		if s.name == name {
+			return true
+		}
+	}
+	return false
+}

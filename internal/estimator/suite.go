@@ -1,35 +1,43 @@
 package estimator
 
 import (
-	"dqm/internal/stats"
+	"fmt"
+
 	"dqm/internal/votes"
 )
 
-// Canonical estimator names used across the experiment harness, CLI output
-// and EXPERIMENTS.md. They match the labels in the paper's figures.
-const (
-	NameNominal = "NOMINAL"
-	NameVoting  = "VOTING"
-	NameChao92  = "CHAO92"
-	NameVChao92 = "V-CHAO"
-	NameSwitch  = "SWITCH"
-	NameGT      = "GT" // ground truth, where plotted
-)
-
-// Suite evaluates every streaming estimator over a single shared response
-// matrix, avoiding one matrix copy per estimator. It is the unit the
-// experiment harness advances task by task.
+// Suite evaluates a selected set of registered estimators over a single
+// shared response matrix, avoiding one matrix copy per estimator. It is the
+// unit the experiment harness advances task by task and the session engine
+// wraps per dataset session.
 type Suite struct {
+	// Matrix is the shared response matrix every matrix-derived member reads.
 	Matrix *votes.Matrix
+	// Switch is the streaming SWITCH member, nil when NameSwitch is not
+	// selected. Exposed for consumers that need the full SwitchEstimate or
+	// the bootstrap CI machinery.
 	Switch *SwitchEstimator
 
-	vcfg VChao92Config
-	cap  bool
-	n    int
+	// members holds every selected estimator in selection order; streaming
+	// lists the subset that actually consumes votes (members reading the
+	// shared matrix are fed through Matrix once, not per member).
+	members   []Estimator
+	streaming []Estimator
+	// extras are the names of non-standard members, in member order; nil in
+	// the common all-standard case so EstimateAll stays allocation-free.
+	extras []string
+
+	cfg SuiteConfig
+	n   int
 }
 
 // SuiteConfig configures a Suite.
 type SuiteConfig struct {
+	// Estimators selects the members by registered name, evaluated in order.
+	// Nil selects StandardNames() (every paper estimator). NewSuite panics on
+	// an unregistered name; validate user-supplied selections first with
+	// ValidateNames.
+	Estimators []string
 	// VChao92 parameterizes the V-CHAO member (default shift 1, the paper's
 	// setting).
 	VChao92 VChao92Config
@@ -44,29 +52,82 @@ type SuiteConfig struct {
 	WithoutHistory bool
 }
 
-// NewSuite creates a suite over n items.
-func NewSuite(n int, cfg SuiteConfig) *Suite {
+// normalize applies the paper-default parameter fallbacks.
+func (cfg SuiteConfig) normalize() SuiteConfig {
 	if cfg.VChao92.Shift == 0 {
 		cfg.VChao92.Shift = 1
 	}
 	cfg.Switch.CapToPopulation = cfg.Switch.CapToPopulation || cfg.CapToPopulation
+	if cfg.Estimators == nil {
+		cfg.Estimators = StandardNames()
+	}
+	return cfg
+}
+
+// NewSuite creates a suite over n items. It panics on an unregistered
+// estimator name (a programmer error; API layers validate selections with
+// ValidateNames before building sessions).
+func NewSuite(n int, cfg SuiteConfig) *Suite {
+	cfg = cfg.normalize()
 	var mopts []votes.Option
 	if cfg.WithoutHistory {
 		mopts = append(mopts, votes.WithoutHistory())
 	}
-	return &Suite{
+	s := &Suite{
 		Matrix: votes.NewMatrix(n, mopts...),
-		Switch: NewSwitch(n, cfg.Switch),
-		vcfg:   cfg.VChao92,
-		cap:    cfg.CapToPopulation,
+		cfg:    cfg,
 		n:      n,
 	}
+	env := Env{N: n, Matrix: s.Matrix, Config: cfg}
+	for _, name := range cfg.Estimators {
+		member, err := New(name, env)
+		if err != nil {
+			panic(fmt.Sprintf("estimator: NewSuite: %v", err))
+		}
+		s.addMember(name, member)
+	}
+	return s
 }
 
-// Observe ingests one vote into every member.
+// addMember wires one built member into the suite's dispatch lists.
+func (s *Suite) addMember(name string, member Estimator) {
+	s.members = append(s.members, member)
+	if !IsStandardName(name) {
+		s.extras = append(s.extras, name)
+	} else {
+		s.extras = append(s.extras, "")
+	}
+	if sw, ok := member.(*switchMember); ok {
+		s.Switch = sw.est
+	}
+	if mm, ok := member.(sharedMatrixMember); ok && mm.sharesMatrix() {
+		return // fed through the shared matrix; skip per-vote dispatch
+	}
+	s.streaming = append(s.streaming, member)
+}
+
+// Names returns the selected estimator names in evaluation order.
+func (s *Suite) Names() []string {
+	out := make([]string, len(s.members))
+	for i, m := range s.members {
+		out[i] = m.Name()
+	}
+	return out
+}
+
+// Config returns the (normalized) configuration the suite was built with.
+func (s *Suite) Config() SuiteConfig { return s.cfg }
+
+// NumItems returns the population size N.
+func (s *Suite) NumItems() int { return s.n }
+
+// Observe ingests one vote into the shared matrix and every streaming
+// member.
 func (s *Suite) Observe(v votes.Vote) {
 	s.Matrix.Add(v)
-	s.Switch.Observe(v)
+	for _, m := range s.streaming {
+		m.Observe(v)
+	}
 }
 
 // ObserveTask ingests a whole task's votes and marks the task boundary.
@@ -77,15 +138,11 @@ func (s *Suite) ObserveTask(task []votes.Vote) {
 	s.EndTask()
 }
 
-// EndTask marks a task boundary for the trend detector.
-func (s *Suite) EndTask() { s.Switch.EndTask() }
-
-// clampEst applies the population cap when configured.
-func (s *Suite) clampEst(v float64) float64 {
-	if s.cap {
-		return stats.Clamp(v, 0, float64(s.n))
+// EndTask marks a task boundary for the trend detectors.
+func (s *Suite) EndTask() {
+	for _, m := range s.streaming {
+		m.EndTask()
 	}
-	return v
 }
 
 // Estimates is a snapshot of every estimator's total-error estimate.
@@ -95,39 +152,71 @@ type Estimates struct {
 	Chao92  float64
 	VChao92 float64
 	Switch  SwitchEstimate
+	// Extra holds estimates of non-standard registered members, keyed by
+	// name; nil when only standard members are selected.
+	Extra map[string]float64
 }
 
-// ByName returns the named estimate, matching the figure labels.
+// ByName returns the named estimate, matching the figure labels. Resolution
+// goes through the shared name table of names.go, then Extra.
 func (e Estimates) ByName(name string) float64 {
-	switch name {
-	case NameNominal:
-		return e.Nominal
-	case NameVoting:
-		return e.Voting
-	case NameChao92:
-		return e.Chao92
-	case NameVChao92:
-		return e.VChao92
-	case NameSwitch:
-		return e.Switch.Total
-	default:
-		return 0
+	for _, se := range standardEstimates {
+		if se.name == name {
+			return se.get(e)
+		}
 	}
+	return e.Extra[name]
 }
 
-// EstimateAll evaluates every member at the current stream position.
+// EstimateAll evaluates every member at the current stream position. Members
+// not selected leave their zero value in the snapshot.
 func (s *Suite) EstimateAll() Estimates {
-	return Estimates{
-		Nominal: Nominal(s.Matrix),
-		Voting:  Voting(s.Matrix),
-		Chao92:  s.clampEst(Chao92(s.Matrix)),
-		VChao92: s.clampEst(VChao92(s.Matrix, s.vcfg)),
-		Switch:  s.Switch.Estimate(),
+	var e Estimates
+	for i, m := range s.members {
+		if extra := s.extras[i]; extra != "" {
+			if e.Extra == nil {
+				e.Extra = make(map[string]float64, len(s.members))
+			}
+			e.Extra[extra] = m.Estimate()
+			continue
+		}
+		switch m.Name() {
+		case NameNominal:
+			e.Nominal = m.Estimate()
+		case NameVoting:
+			e.Voting = m.Estimate()
+		case NameChao92:
+			e.Chao92 = m.Estimate()
+		case NameVChao92:
+			e.VChao92 = m.Estimate()
+		case NameSwitch:
+			// One evaluation serves both the scalar and the full struct.
+			e.Switch = s.Switch.Estimate()
+		}
 	}
+	return e
+}
+
+// Clone returns a deep, independent copy of the suite: the shared matrix is
+// cloned once and every member is rebound to (or deep-copied alongside) it.
+// Snapshots of live sessions are built on it; the clone and the original can
+// ingest independently afterwards.
+func (s *Suite) Clone() *Suite {
+	out := &Suite{
+		Matrix: s.Matrix.Clone(),
+		cfg:    s.cfg,
+		n:      s.n,
+	}
+	for _, m := range s.members {
+		out.addMember(m.Name(), m.Clone(out.Matrix))
+	}
+	return out
 }
 
 // Reset clears the suite for the next permutation.
 func (s *Suite) Reset() {
 	s.Matrix.Reset()
-	s.Switch.Reset()
+	for _, m := range s.streaming {
+		m.Reset()
+	}
 }

@@ -166,8 +166,8 @@ func AblationBaselines(opts Options) *Figure {
 		Consts: []Constant{
 			{Name: "GROUND_TRUTH", Value: float64(pop.NumDirty())},
 			{Name: "OBSERVED", Value: float64(m.Nominal())},
-			{Name: "CHAO92", Value: stats.Chao92(in).Estimate},
-			{Name: "CHAO92_NOSKEW", Value: stats.Chao92NoSkew(in).Estimate},
+			{Name: estimator.NameChao92, Value: stats.Chao92(in).Estimate},
+			{Name: estimator.NameChao92 + "_NOSKEW", Value: stats.Chao92NoSkew(in).Estimate},
 			{Name: "CHAO84", Value: stats.Chao84(m.Nominal(), f)},
 			{Name: "ACE", Value: stats.ACE(f)},
 			{Name: "JACKKNIFE1", Value: stats.Jackknife1(m.Nominal(), f, m.PositiveVotes())},

@@ -206,6 +206,23 @@ func TestFigureHelpers(t *testing.T) {
 	}
 }
 
+func TestEstimatorSeriesCanonicalOrder(t *testing.T) {
+	f := &Figure{Series: []Series{
+		{Name: SeriesXiPos},
+		{Name: estimator.NameSwitch},
+		{Name: estimator.NameVoting},
+		{Name: "GROUND_TRUTH"},
+	}}
+	got := f.EstimatorSeries()
+	if len(got) != 2 || got[0].Name != estimator.NameVoting || got[1].Name != estimator.NameSwitch {
+		names := make([]string, len(got))
+		for i, s := range got {
+			names[i] = s.Name
+		}
+		t.Fatalf("EstimatorSeries = %v, want [VOTING SWITCH]", names)
+	}
+}
+
 func TestFigureWriteTable(t *testing.T) {
 	f := &Figure{
 		ID:     "fig-t",

@@ -78,7 +78,7 @@ func Fig2a(opts Options) *Figure {
 		x[i] = float64(i + 1)
 		est[i] = estimator.Extrapolate(found, sampleSize, pairSpace)
 	}
-	fig.Series = append(fig.Series, Series{Name: "EXTRAPOL", X: x, Mean: est, Std: make([]float64, samples)})
+	fig.Series = append(fig.Series, Series{Name: estimator.NameExtrapolate, X: x, Mean: est, Std: make([]float64, samples)})
 	fig.Consts = append(fig.Consts,
 		Constant{Name: "SAMPLE_SIZE", Value: float64(sampleSize)},
 		Constant{Name: "EST_MEAN", Value: stats.Mean(est)},

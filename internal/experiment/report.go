@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"dqm/internal/estimator"
 )
 
 // Series is one plotted line of a figure: a label, x coordinates, the mean
@@ -41,6 +43,20 @@ func (f *Figure) Const(name string) float64 {
 		}
 	}
 	return 0
+}
+
+// EstimatorSeries returns the figure's series whose names are standard
+// estimator names, in the canonical order of the shared name table — the
+// subset a generic renderer plots as estimator lines (as opposed to extras
+// like the ξ decompositions or ground-truth annotations).
+func (f *Figure) EstimatorSeries() []*Series {
+	var out []*Series
+	for _, name := range estimator.StandardNames() {
+		if s := f.FindSeries(name); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // FindSeries returns the named series, or nil.

@@ -95,11 +95,14 @@ type RunResult struct {
 	FinalEstimates map[string][]float64
 }
 
-// runSeries lists the series the runner always records.
-var runSeries = []string{
-	estimator.NameNominal, estimator.NameVoting, estimator.NameChao92,
-	estimator.NameVChao92, estimator.NameSwitch, SeriesXiPos, SeriesXiNeg,
-}
+// estimatorSeries lists the estimator-valued series in canonical order; it
+// comes from the shared name table of package estimator, so a new registered
+// standard estimator flows into the runner without touching this file.
+var estimatorSeries = estimator.StandardNames()
+
+// runSeries lists the series the runner always records: every standard
+// estimator plus the switch-decomposition extras.
+var runSeries = append(append([]string(nil), estimatorSeries...), SeriesXiPos, SeriesXiNeg)
 
 // replayState is the per-worker scratch of the parallel replay engine: one
 // suite plus the permutation and vote buffers it replays into. States are
@@ -140,11 +143,9 @@ func (st *replayState) replayPerm(cfg *RunConfig, p, ncp int, permRNG *xrand.RNG
 		if next < ncp && ti+1 == cfg.Checkpoints[next] {
 			est := st.suite.EstimateAll()
 			at := base + next
-			rows[estimator.NameNominal][at] = est.Nominal
-			rows[estimator.NameVoting][at] = est.Voting
-			rows[estimator.NameChao92][at] = est.Chao92
-			rows[estimator.NameVChao92][at] = est.VChao92
-			rows[estimator.NameSwitch][at] = est.Switch.Total
+			for _, name := range estimatorSeries {
+				rows[name][at] = est.ByName(name)
+			}
 			rows[SeriesXiPos][at] = est.Switch.XiPos
 			rows[SeriesXiNeg][at] = est.Switch.XiNeg
 			if cfg.TrackNeeded {

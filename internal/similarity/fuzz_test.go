@@ -1,0 +1,123 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"unicode/utf8"
+)
+
+// refLevenshtein is the plain full-matrix dynamic program — the textbook
+// reference the optimized kernels (prefix/suffix trimming, Myers
+// bit-parallel, banded abandon) are cross-checked against.
+func refLevenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d := prev[j] + 1
+			if x := cur[j-1] + 1; x < d {
+				d = x
+			}
+			if x := prev[j-1] + cost; x < d {
+				d = x
+			}
+			cur[j] = d
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// FuzzLevenshtein cross-checks the optimized edit-distance kernels against
+// the reference DP: Levenshtein must match exactly, BoundedLevenshtein must
+// match under the bound and exceed it above, and EditSimilarityAtLeast must
+// agree with the unbounded similarity on both the threshold decision and the
+// returned value.
+func FuzzLevenshtein(f *testing.F) {
+	seeds := []struct {
+		a, b   string
+		max    int
+		minSim float64
+	}{
+		{"", "", 0, 0.5},
+		{"kitten", "sitting", 3, 0.5},
+		{"abcdef", "abcdef", 0, 1},
+		{"café", "cafe", 1, 0.7},
+		{"naïve zoë", "naive zoe", 4, 0.6},
+		{"日本語のテキスト", "日本語テキスト", 2, 0.8},
+		{"Größenwahn", "grossenwahn", 5, 0.4},
+		{"ресторан у моря", "ресторанъ у моря", 1, 0.9},
+		{"🍕 pizza palace", "pizza palace 🍔", 6, 0.3},
+		{"the quick brown fox jumps over the lazy dog", "the quick brown fox jumped over a lazy dog", 8, 0.85},
+		{"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", "a", 100, 0.01},
+	}
+	for _, s := range seeds {
+		f.Add(s.a, s.b, s.max, s.minSim)
+	}
+	f.Fuzz(func(t *testing.T, a, b string, max int, minSim float64) {
+		// Cap the quadratic reference DP; the kernels themselves have no such
+		// limit.
+		if len(a) > 256 || len(b) > 256 {
+			t.Skip("inputs too long for the reference DP")
+		}
+		ref := refLevenshtein(a, b)
+
+		if got := Levenshtein(a, b); got != ref {
+			t.Fatalf("Levenshtein(%q, %q) = %d, want %d", a, b, got, ref)
+		}
+
+		got := BoundedLevenshtein(a, b, max)
+		switch {
+		case max < 0:
+			// Contract: any value greater than max.
+			if got <= max {
+				t.Fatalf("BoundedLevenshtein(%q, %q, %d) = %d, want > %d", a, b, max, got, max)
+			}
+		case ref <= max:
+			if got != ref {
+				t.Fatalf("BoundedLevenshtein(%q, %q, %d) = %d, want exact %d", a, b, max, got, ref)
+			}
+		default:
+			if got <= max {
+				t.Fatalf("BoundedLevenshtein(%q, %q, %d) = %d, want > %d (true distance %d)", a, b, max, got, max, ref)
+			}
+		}
+
+		if math.IsNaN(minSim) || math.IsInf(minSim, 0) {
+			return
+		}
+		if minSim < 0 {
+			minSim = 0
+		} else if minSim > 1 {
+			minSim = 1
+		}
+		la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
+		maxLen := la
+		if lb > maxLen {
+			maxLen = lb
+		}
+		refSim := 1.0
+		if maxLen > 0 {
+			refSim = 1 - float64(ref)/float64(maxLen)
+		}
+		sim, ok := EditSimilarityAtLeast(a, b, minSim)
+		if ok != (refSim >= minSim) {
+			t.Fatalf("EditSimilarityAtLeast(%q, %q, %v) ok = %v, reference similarity %v", a, b, minSim, ok, refSim)
+		}
+		if ok && sim != refSim {
+			t.Fatalf("EditSimilarityAtLeast(%q, %q, %v) = %v, want %v", a, b, minSim, sim, refSim)
+		}
+		if full := EditSimilarity(a, b); full != refSim {
+			t.Fatalf("EditSimilarity(%q, %q) = %v, want %v", a, b, full, refSim)
+		}
+	})
+}

@@ -305,6 +305,35 @@ func (t *Tracker) ItemSwitches(item int) int {
 	return int(st.posEvents + st.negEvents)
 }
 
+// Clone returns a deep, independent copy of the tracker, including per-item
+// ledgers when retained. Snapshots of live sessions are built on it.
+func (t *Tracker) Clone() *Tracker {
+	out := &Tracker{
+		policy:        t.policy,
+		items:         append([]itemState(nil), t.items...),
+		retainLedgers: t.retainLedgers,
+		fPos:          t.fPos.Clone(),
+		fNeg:          t.fNeg.Clone(),
+		totalVotes:    t.totalVotes,
+		noops:         t.noops,
+		posSw:         t.posSw,
+		negSw:         t.negSw,
+		cPos:          t.cPos,
+		cNeg:          t.cNeg,
+		cAny:          t.cAny,
+		cMajority:     t.cMajority,
+	}
+	if t.retainLedgers {
+		out.ledgers = make([][]SwitchEvent, len(t.ledgers))
+		for i, l := range t.ledgers {
+			if len(l) > 0 {
+				out.ledgers[i] = append([]SwitchEvent(nil), l...)
+			}
+		}
+	}
+	return out
+}
+
 // Reset clears all state without reallocating.
 func (t *Tracker) Reset() {
 	for i := range t.items {

@@ -282,6 +282,47 @@ func (m *Matrix) Coverage() float64 {
 	return float64(seen) / float64(m.n)
 }
 
+// Clone returns a deep, independent copy of the matrix. The clone shares no
+// mutable state with the receiver, so session engines can snapshot a live
+// matrix and keep ingesting into the original.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{
+		n:             m.n,
+		items:         append([]itemState(nil), m.items...),
+		retainHistory: m.retainHistory,
+		votes:         m.votes,
+		posVotes:      m.posVotes,
+		cNominal:      m.cNominal,
+		cMajority:     m.cMajority,
+		fpos:          m.fpos.Clone(),
+	}
+	if m.retainHistory {
+		out.history = make([][]Vote, len(m.history))
+		for i, h := range m.history {
+			if len(h) > 0 {
+				out.history[i] = append([]Vote(nil), h...)
+			}
+		}
+	}
+	out.workers = m.workers.clone()
+	return out
+}
+
+// clone returns an independent copy of the worker set.
+func (s *workerSet) clone() workerSet {
+	out := workerSet{
+		bits:  append([]uint64(nil), s.bits...),
+		count: s.count,
+	}
+	if s.sparse != nil {
+		out.sparse = make(map[int]struct{}, len(s.sparse))
+		for w := range s.sparse {
+			out.sparse[w] = struct{}{}
+		}
+	}
+	return out
+}
+
 // Reset clears the matrix back to all-unseen without reallocating.
 func (m *Matrix) Reset() {
 	for i := range m.items {
