@@ -9,7 +9,9 @@
 //	dqm-gen -dataset address -tasks 300 -out out/    # … plus a vote log
 //	dqm-gen -dataset synthetic -n 1000 -dirty 100 -tasks 100 -fp 0.01 -fn 0.1 -out out/
 //
-// The vote log written to <out>/votes.csv feeds straight into cmd/dqm.
+// The vote log written to <out>/votes.csv feeds straight into cmd/dqm;
+// -votes-format jsonl|binary selects the other votelog encodings (binary is
+// the compact varint one for large logs, readable by dqm and dqm convert).
 package main
 
 import (
@@ -42,6 +44,7 @@ type genFlags struct {
 	itemsPerTask int
 	fp, fn       float64
 	n, dirty     int
+	votesFormat  string
 }
 
 func run(args []string, out io.Writer) error {
@@ -56,8 +59,14 @@ func run(args []string, out io.Writer) error {
 	fs.Float64Var(&g.fn, "fn", -1, "worker false-negative rate (default: dataset profile)")
 	fs.IntVar(&g.n, "n", 1000, "synthetic: population size")
 	fs.IntVar(&g.dirty, "dirty", 100, "synthetic: number of dirty items")
+	fs.StringVar(&g.votesFormat, "votes-format", "csv", "vote log encoding: csv, jsonl or binary (compact, for large logs)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch g.votesFormat {
+	case "csv", "jsonl", "binary":
+	default:
+		return fmt.Errorf("unknown -votes-format %q (want csv, jsonl or binary)", g.votesFormat)
 	}
 	if err := os.MkdirAll(g.out, 0o755); err != nil {
 		return err
@@ -166,13 +175,14 @@ func maybeVotes(g genFlags, out io.Writer, pop *dataset.Population, profile crow
 		Seed:         g.seed,
 	})
 	entries := votelog.FromTasks(sim.Tasks(g.tasks))
-	path := filepath.Join(g.out, "votes.csv")
+	ext := map[string]string{"csv": "csv", "jsonl": "jsonl", "binary": "bin"}[g.votesFormat]
+	path := filepath.Join(g.out, "votes."+ext)
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := votelog.WriteCSV(f, entries); err != nil {
+	if err := votelog.Write(f, g.votesFormat, entries); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %d votes over %d tasks to %s (fp=%.3f fn=%.3f)\n",

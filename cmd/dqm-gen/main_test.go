@@ -3,8 +3,11 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"dqm/internal/votelog"
 )
 
 func TestGenAddressWithVotes(t *testing.T) {
@@ -104,5 +107,48 @@ func TestGenProductCandidates(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "2336+1363 records, 607 matches") {
 		t.Fatalf("summary missing:\n%s", sb.String())
+	}
+}
+
+// TestGenSyntheticBinaryVotes: -votes-format binary writes votes.bin,
+// readable by the votelog binary decoder with the same content a CSV run
+// would produce.
+func TestGenSyntheticBinaryVotes(t *testing.T) {
+	binDir, csvDir := t.TempDir(), t.TempDir()
+	var sb strings.Builder
+	args := []string{"-dataset", "synthetic", "-n", "200", "-dirty", "30", "-tasks", "40", "-seed", "7"}
+	if err := run(append(args, "-out", binDir, "-votes-format", "binary"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-out", csvDir), &sb); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := os.Open(filepath.Join(binDir, "votes.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	binEntries, err := votelog.ReadBinary(bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := os.Open(filepath.Join(csvDir, "votes.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	csvEntries, err := votelog.ReadCSV(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(binEntries, csvEntries) {
+		t.Fatalf("binary log (%d entries) differs from csv log (%d entries)", len(binEntries), len(csvEntries))
+	}
+}
+
+func TestGenRejectsBadVotesFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-dataset", "synthetic", "-votes-format", "xml", "-out", t.TempDir()}, &sb); err == nil {
+		t.Fatal("bad votes-format accepted")
 	}
 }

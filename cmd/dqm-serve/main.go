@@ -6,6 +6,16 @@
 // Usage:
 //
 //	dqm-serve [-addr :8334] [-shards 32] [-max-sessions 0] [-max-batch 100000]
+//	          [-data-dir DIR] [-fsync batch|always|never] [-fsync-interval 100ms]
+//
+// With -data-dir the engine is durable: every session write-ahead-journals
+// its votes under DIR, all journaled sessions are recovered on boot with
+// bit-identical estimator state, and SIGINT/SIGTERM trigger a graceful
+// shutdown — in-flight requests drain, then a final checkpoint of every live
+// session is flushed. -fsync selects the journal flush policy: "always"
+// fsyncs every ingest batch, "batch" (default) group-commits with at most
+// -fsync-interval of acknowledged-but-unsynced writes, "never" leaves
+// flushing to the OS.
 //
 // Endpoints (JSON request/response bodies):
 //
@@ -24,10 +34,15 @@
 // A vote batch is either {"votes": [{"item","worker","dirty"}...],
 // "end_task": true} for one task, or {"entries": [{"task","item","worker",
 // "dirty"}...]} in the votelog interchange format, with task boundaries at
-// every task-id change (and after the final entry).
+// every task-id change (and after the final entry). Entries are applied one
+// task at a time, each task atomically: on a bad entry mid-batch the
+// already-completed tasks stay applied, and the error response reports
+// "ingested" (votes applied) and "tasks_ended" so the client can resume from
+// the exact failure point instead of guessing.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -36,10 +51,12 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dqm"
@@ -52,22 +69,76 @@ func main() {
 		shards      = fs.Int("shards", 32, "session-table shards (rounded up to a power of two)")
 		maxSessions = fs.Int("max-sessions", 0, "max live sessions, LRU-evicted beyond (0 = unlimited)")
 		maxBatch    = fs.Int("max-batch", 100000, "max votes per ingest request")
+		dataDir     = fs.String("data-dir", "", "durable data directory (empty = in-memory only)")
+		fsyncMode   = fs.String("fsync", "batch", "journal fsync policy: batch, always or never")
+		fsyncEvery  = fs.Duration("fsync-interval", 100*time.Millisecond, "max fsync staleness under -fsync batch")
+		drainWait   = fs.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 	)
 	fs.Parse(os.Args[1:])
 
-	srv := newServer(serverConfig{
-		Shards:      *shards,
-		MaxSessions: *maxSessions,
-		MaxBatch:    *maxBatch,
+	fsync, err := parseFsync(*fsyncMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := newServer(serverConfig{
+		Shards:        *shards,
+		MaxSessions:   *maxSessions,
+		MaxBatch:      *maxBatch,
+		DataDir:       *dataDir,
+		Fsync:         fsync,
+		FsyncInterval: *fsyncEvery,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		log.Printf("dqm-serve durable in %s (fsync=%s), recovered %d session(s)",
+			*dataDir, *fsyncMode, srv.engine.NumSessions())
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests up to the
+	// deadline, then flush a final checkpoint of every live session.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("dqm-serve listening on %s", *addr)
-	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("dqm-serve shutting down (drain deadline %s)", *drainWait)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("dqm-serve: drain incomplete: %v", err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatalf("dqm-serve: final checkpoint failed: %v", err)
+	}
+	log.Printf("dqm-serve stopped")
+}
+
+// parseFsync maps the -fsync flag onto the engine policy.
+func parseFsync(mode string) (dqm.FsyncPolicy, error) {
+	switch mode {
+	case "batch":
+		return dqm.FsyncBatch, nil
+	case "always":
+		return dqm.FsyncAlways, nil
+	case "never":
+		return dqm.FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("dqm-serve: unknown -fsync %q (want batch, always or never)", mode)
 	}
 }
 
@@ -81,6 +152,11 @@ type serverConfig struct {
 	// MaxSnapshots bounds retained snapshots per session (oldest dropped);
 	// 0 selects 16.
 	MaxSnapshots int
+	// DataDir enables the durable engine (empty = in-memory only).
+	DataDir string
+	// Fsync and FsyncInterval tune the journal flush policy under DataDir.
+	Fsync         dqm.FsyncPolicy
+	FsyncInterval time.Duration
 }
 
 // server is the HTTP front of one dqm.Engine. Snapshots live server-side,
@@ -103,7 +179,7 @@ type namedSnapshot struct {
 	snap *dqm.Snapshot
 }
 
-func newServer(cfg serverConfig) *server {
+func newServer(cfg serverConfig) (*server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 100000
 	}
@@ -115,13 +191,24 @@ func newServer(cfg serverConfig) *server {
 		cfg:   cfg,
 		snaps: make(map[string][]namedSnapshot),
 	}
-	s.engine = dqm.NewEngine(dqm.EngineConfig{
+	engineCfg := dqm.EngineConfig{
 		Shards:      cfg.Shards,
 		MaxSessions: cfg.MaxSessions,
 		// LRU-evicted sessions must not leak their server-side snapshots (or
 		// resurrect them under a reused id).
-		OnEvict: s.dropSnapshots,
-	})
+		OnEvict:       s.dropSnapshots,
+		Fsync:         cfg.Fsync,
+		FsyncInterval: cfg.FsyncInterval,
+	}
+	if cfg.DataDir != "" {
+		eng, err := dqm.OpenEngine(cfg.DataDir, engineCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.engine = eng
+	} else {
+		s.engine = dqm.NewEngine(engineCfg)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/estimators", s.handleEstimators)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
@@ -133,10 +220,14 @@ func newServer(cfg serverConfig) *server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/snapshots", s.handleCreateSnapshot)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/snapshots", s.handleListSnapshots)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/restore", s.handleRestore)
-	return s
+	return s, nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close flushes a final checkpoint of every live session and closes the
+// engine's journals (no-op for in-memory engines).
+func (s *server) Close() error { return s.engine.Close() }
 
 // dropSnapshots releases every server-side snapshot of a session.
 func (s *server) dropSnapshots(id string) {
@@ -185,6 +276,7 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"status":    "ok",
 		"sessions":  s.engine.NumSessions(),
 		"evictions": s.engine.Evictions(),
+		"durable":   s.engine.Durable(),
 	})
 }
 
@@ -327,30 +419,36 @@ func (s *server) handleAppendVotes(w http.ResponseWriter, r *http.Request) {
 	}
 
 	tasksDone := 0
+	votesApplied := 0
 	if len(req.Entries) > 0 {
 		// Replay with a task boundary at every task-id change and after the
-		// final entry (the votelog contract). Batches are validated and
-		// applied per task, so a bad entry fails before its task is applied.
+		// final entry (the votelog contract). Atomicity is per task: each
+		// task's votes are validated and applied as one batch, so a bad entry
+		// fails before its own task is applied — but tasks flushed earlier in
+		// the request stay applied. The error response therefore reports what
+		// actually landed ("ingested", "tasks_ended"), so clients resume from
+		// the failure point instead of re-sending applied tasks.
 		batch := make([]dqm.Vote, 0, len(req.Entries))
 		flush := func() error {
 			if err := sess.AppendVotes(batch, true); err != nil {
 				return err
 			}
 			tasksDone++
+			votesApplied += len(batch)
 			batch = batch[:0]
 			return nil
 		}
 		for i, e := range req.Entries {
 			if i > 0 && req.Entries[i-1].Task != e.Task {
 				if err := flush(); err != nil {
-					writeError(w, http.StatusBadRequest, "%v", err)
+					writePartialIngest(w, sess, err, votesApplied, tasksDone)
 					return
 				}
 			}
 			batch = append(batch, dqm.Vote{Item: e.Item, Worker: e.Worker, Dirty: e.Dirty})
 		}
 		if err := flush(); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writePartialIngest(w, sess, err, votesApplied, tasksDone)
 			return
 		}
 	} else {
@@ -359,15 +457,38 @@ func (s *server) handleAppendVotes(w http.ResponseWriter, r *http.Request) {
 			batch[i] = dqm.Vote{Item: v.Item, Worker: v.Worker, Dirty: v.Dirty}
 		}
 		if err := sess.AppendVotes(batch, req.EndTask); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, ingestStatus(err), "%v", err)
 			return
 		}
+		votesApplied = len(req.Votes)
 		if req.EndTask {
 			tasksDone = 1
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ingested":    len(req.Votes) + len(req.Entries),
+		"ingested":    votesApplied,
+		"tasks_ended": tasksDone,
+		"total_votes": sess.TotalVotes(),
+		"tasks":       sess.Tasks(),
+	})
+}
+
+// ingestStatus classifies an ingest failure: journal (disk) faults are the
+// server's problem, everything else is the request's.
+func ingestStatus(err error) int {
+	if dqm.IsJournalError(err) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// writePartialIngest reports an entries-batch failure together with the
+// tasks/votes that were already applied (per-task atomicity: completed tasks
+// are not rolled back).
+func writePartialIngest(w http.ResponseWriter, sess *dqm.Session, err error, votesApplied, tasksDone int) {
+	writeJSON(w, ingestStatus(err), map[string]any{
+		"error":       err.Error(),
+		"ingested":    votesApplied,
 		"tasks_ended": tasksDone,
 		"total_votes": sess.TotalVotes(),
 		"tasks":       sess.Tasks(),

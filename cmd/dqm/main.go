@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	dqm -input votes.csv [-format csv|jsonl] [-n N] [-every K] [-cap]
+//	dqm -input votes.csv [-format csv|jsonl|binary] [-n N] [-every K] [-cap]
+//	dqm convert -in votes.csv -out votes.bin [-from csv|jsonl|binary] [-to ...]
 //
 // The log must be grouped by task id. With -every K an estimate row is
 // printed every K tasks, showing how the metric converges as cleaning effort
 // grows; otherwise only the final estimates are printed.
+//
+// The convert subcommand transcodes between the three vote-log encodings
+// (formats default to the file extensions: .csv, .jsonl/.ndjson, .bin/.dqmb);
+// the binary encoding is the compact one for exchanging large logs with
+// cmd/dqm-gen.
 package main
 
 import (
@@ -16,7 +22,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"dqm"
 	"dqm/internal/votelog"
@@ -30,10 +35,13 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "convert" {
+		return runConvert(args[1:], out)
+	}
 	fs := flag.NewFlagSet("dqm", flag.ContinueOnError)
 	var (
 		input  = fs.String("input", "", "vote log path (default: stdin)")
-		format = fs.String("format", "", "log format: csv or jsonl (default: by extension, csv for stdin)")
+		format = fs.String("format", "", "log format: csv, jsonl or binary (default: by extension, csv for stdin)")
 		nItems = fs.Int("n", 0, "population size N (default: max item id + 1)")
 		every  = fs.Int("every", 0, "print estimates every K tasks (0 = final only)")
 		capN   = fs.Bool("cap", false, "clamp estimates to the population size")
@@ -125,18 +133,52 @@ func loadEntries(path, format string) ([]votelog.Entry, error) {
 		r = f
 	}
 	if format == "" {
-		if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".ndjson") {
-			format = "jsonl"
-		} else {
-			format = "csv"
+		format = votelog.DetectFormat(path)
+	}
+	return votelog.Read(r, format)
+}
+
+// runConvert transcodes a vote log between the CSV, JSONL and binary
+// encodings.
+func runConvert(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dqm convert", flag.ContinueOnError)
+	var (
+		in   = fs.String("in", "", "input vote log path (default: stdin)")
+		outP = fs.String("out", "", "output vote log path (default: stdout)")
+		from = fs.String("from", "", "input format: csv, jsonl or binary (default: by extension)")
+		to   = fs.String("to", "", "output format: csv, jsonl or binary (default: by extension)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	entries, err := loadEntries(*in, *from)
+	if err != nil {
+		return err
+	}
+	dstFormat := *to
+	if dstFormat == "" {
+		dstFormat = votelog.DetectFormat(*outP)
+	}
+	var w io.Writer = os.Stdout
+	if *outP != "" {
+		f, err := os.Create(*outP)
+		if err != nil {
+			return err
 		}
+		defer f.Close()
+		w = f
 	}
-	switch format {
-	case "csv":
-		return votelog.ReadCSV(r)
-	case "jsonl":
-		return votelog.ReadJSONL(r)
-	default:
-		return nil, fmt.Errorf("unknown format %q (want csv or jsonl)", format)
+	if err := votelog.Write(w, dstFormat, entries); err != nil {
+		return err
 	}
+	if *outP != "" { // with data on stdout, keep stdout clean
+		tasks := 0
+		for i, e := range entries {
+			if i == 0 || entries[i-1].Task != e.Task {
+				tasks++
+			}
+		}
+		fmt.Fprintf(out, "converted %d votes over %d tasks to %s %s\n", len(entries), tasks, dstFormat, *outP)
+	}
+	return nil
 }

@@ -95,3 +95,52 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("unknown format accepted")
 	}
 }
+
+// TestConvertRoundTripAndBinaryEstimate: csv -> binary -> jsonl keeps the
+// log identical, and estimation from the binary form matches the CSV run.
+func TestConvertRoundTripAndBinaryEstimate(t *testing.T) {
+	csvPath := writeLog(t, "votes.csv", sampleLog)
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "votes.bin")
+	jsonlPath := filepath.Join(dir, "votes.jsonl")
+
+	var sb strings.Builder
+	if err := run([]string{"convert", "-in", csvPath, "-out", binPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "converted 8 votes over 3 tasks to binary") {
+		t.Fatalf("convert summary: %q", sb.String())
+	}
+	if err := run([]string{"convert", "-in", binPath, "-out", jsonlPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+
+	var fromCSV, fromBin strings.Builder
+	if err := run([]string{"-input", csvPath}, &fromCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", binPath}, &fromBin); err != nil {
+		t.Fatal(err)
+	}
+	if fromCSV.String() != fromBin.String() {
+		t.Fatalf("binary log estimates differ from CSV:\n%s\nvs\n%s", fromBin.String(), fromCSV.String())
+	}
+	// The jsonl produced via binary matches a direct jsonl estimate too.
+	var fromJSONL strings.Builder
+	if err := run([]string{"-input", jsonlPath}, &fromJSONL); err != nil {
+		t.Fatal(err)
+	}
+	if fromCSV.String() != fromJSONL.String() {
+		t.Fatal("jsonl round trip diverged")
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"convert", "-in", writeLog(t, "votes.csv", sampleLog), "-to", "xml"}, &sb); err == nil {
+		t.Fatal("unknown target format accepted")
+	}
+	if err := run([]string{"convert", "-in", filepath.Join(t.TempDir(), "missing.csv")}, &sb); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}

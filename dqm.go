@@ -27,6 +27,11 @@
 //	_ = sess.AppendVotes(batch, true) // one task per batch
 //	est := sess.Estimates()
 //
+// Engines can be durable: OpenEngine(dir, cfg) write-ahead-journals every
+// session's votes (group-committed, CRC-framed, snapshot-compacted) and
+// recovers all sessions on reopen with bit-identical estimator state, so the
+// estimate survives a crash of the process consulting it mid-cleaning.
+//
 // Estimators implemented (paper section in parentheses):
 //
 //   - Nominal (§2.2.1) and Voting (§2.2.2) — descriptive baselines;
@@ -43,6 +48,7 @@
 package dqm
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -50,6 +56,7 @@ import (
 	"dqm/internal/estimator"
 	"dqm/internal/switchstat"
 	"dqm/internal/votes"
+	"dqm/internal/wal"
 )
 
 // Vote is one worker judgment: worker Worker looked at item Item and marked
@@ -216,12 +223,40 @@ func NewRecorder(n int, cfg Config) *Recorder {
 	return &Recorder{Session{s: engine.NewSession("", n, engine.SessionConfig{Suite: cfg.suiteConfig()})}}
 }
 
+// IsJournalError reports whether err came from a durable session's
+// write-ahead journal — an infrastructure fault (disk full, journal closed
+// by eviction or engine Close), not invalid input. The failed mutation was
+// not applied, and further durable mutations on that session will keep
+// failing until it is reloaded; API layers should surface these as server
+// errors, not client errors.
+func IsJournalError(err error) bool {
+	var je *engine.JournalError
+	return errors.As(err, &je)
+}
+
 // Extrapolate is the §2.2.3 predictive baseline: scale the errsFound
 // discovered in a perfectly cleaned sample of sampleSize up to the
 // population.
 func Extrapolate(errsFound, sampleSize, population int) float64 {
 	return estimator.Extrapolate(errsFound, sampleSize, population)
 }
+
+// FsyncPolicy selects when a durable engine flushes journal writes to stable
+// storage (see EngineConfig.Fsync).
+type FsyncPolicy int
+
+const (
+	// FsyncBatch (the default) group-commits: frames accumulate in a
+	// user-space buffer that a background flusher drains and fsyncs at
+	// least once per FsyncInterval (and always on checkpoint and close).
+	// A crash loses at most roughly the last interval of acknowledged
+	// votes.
+	FsyncBatch FsyncPolicy = iota
+	// FsyncAlways fsyncs every ingest batch before acknowledging it.
+	FsyncAlways
+	// FsyncNever leaves flushing to the OS; a clean Close still syncs.
+	FsyncNever
+)
 
 // EngineConfig parameterizes an Engine.
 type EngineConfig struct {
@@ -230,12 +265,42 @@ type EngineConfig struct {
 	// goroutines create and look up sessions concurrently.
 	Shards int
 	// MaxSessions bounds the number of live sessions; creating one more
-	// evicts the least-recently-used session first. 0 means unlimited.
+	// evicts the least-recently-used session first. 0 means unlimited. On a
+	// durable engine eviction only releases memory — the session's journal
+	// files survive and Session(id) revives it on demand. Do not retain
+	// *Session handles across evictions on a durable engine: the evicted
+	// handle's journal is closed, so AppendVotes on it fails (see
+	// IsJournalError) and the void mutators (Record, EndTask, Reset) panic;
+	// re-fetch the session via Session(id) instead.
 	MaxSessions int
 	// OnEvict, when set, is called with the id of every session removed by
 	// the MaxSessions policy (not by DeleteSession), after removal — use it
 	// to release any per-session state held outside the engine.
 	OnEvict func(sessionID string)
+	// DataDir enables durability: every session write-ahead-journals its
+	// votes under this directory and is recovered — bit-identical — when the
+	// engine is reopened. Empty means in-memory only. Prefer OpenEngine,
+	// which reports recovery errors; NewEngine panics on them.
+	DataDir string
+	// Fsync selects the journal flush policy when DataDir is set.
+	Fsync FsyncPolicy
+	// FsyncInterval is the maximum fsync staleness under FsyncBatch;
+	// 0 selects 100ms.
+	FsyncInterval time.Duration
+}
+
+// walOptions lowers the public durability knobs.
+func (cfg EngineConfig) engineConfig() engine.Config {
+	return engine.Config{
+		Shards:      cfg.Shards,
+		MaxSessions: cfg.MaxSessions,
+		OnEvict:     cfg.OnEvict,
+		DataDir:     cfg.DataDir,
+		WAL: wal.Options{
+			Fsync:         wal.FsyncPolicy(cfg.Fsync),
+			BatchInterval: cfg.FsyncInterval,
+		},
+	}
 }
 
 // Engine manages many concurrent, independent estimation sessions — one per
@@ -244,14 +309,49 @@ type Engine struct {
 	e *engine.Engine
 }
 
-// NewEngine creates an engine.
+// NewEngine creates an engine. With cfg.DataDir set it behaves like
+// OpenEngine but panics on a recovery error; programs that must handle
+// corrupt or unreadable data directories should call OpenEngine instead.
 func NewEngine(cfg EngineConfig) *Engine {
-	return &Engine{e: engine.New(engine.Config{
-		Shards:      cfg.Shards,
-		MaxSessions: cfg.MaxSessions,
-		OnEvict:     cfg.OnEvict,
-	})}
+	if cfg.DataDir == "" {
+		return &Engine{e: engine.New(cfg.engineConfig())}
+	}
+	eng, err := OpenEngine(cfg.DataDir, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("dqm: NewEngine: %v", err))
+	}
+	return eng
 }
+
+// OpenEngine opens a durable engine over the data directory dir (created if
+// missing): every session journals its votes ahead of applying them, and
+// every journaled session found in dir is recovered before OpenEngine
+// returns, with estimator state bit-identical to the moment of its last
+// durable write. Close the engine to flush final checkpoints.
+func OpenEngine(dir string, cfg EngineConfig) (*Engine, error) {
+	cfg.DataDir = dir
+	if dir == "" {
+		return nil, fmt.Errorf("dqm: OpenEngine: empty data directory")
+	}
+	eng, err := engine.Open(cfg.engineConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{e: eng}, nil
+}
+
+// Durable reports whether the engine persists sessions to a data directory.
+func (e *Engine) Durable() bool { return e.e.Durable() }
+
+// Checkpoint forces a durable point for every live session: buffered journal
+// frames are fsynced and, where enough history has accumulated, compacted
+// into a snapshot. No-op on in-memory engines.
+func (e *Engine) Checkpoint() error { return e.e.Checkpoint() }
+
+// Close flushes a final checkpoint of every live session and closes the
+// journals. The engine must not ingest afterwards. No-op on in-memory
+// engines.
+func (e *Engine) Close() error { return e.e.Close() }
 
 // CreateSession registers a new session over a population of n items. It
 // fails on an empty or duplicate id, a non-positive population, or an
@@ -267,20 +367,23 @@ func (e *Engine) CreateSession(id string, n int, cfg Config) (*Session, error) {
 	return &Session{s: s}, nil
 }
 
-// Session returns the session registered under id.
+// Session returns the session registered under id. On a durable engine an
+// evicted (or previously journaled) session is transparently revived from
+// its journal.
 func (e *Engine) Session(id string) (*Session, bool) {
-	s, ok := e.e.Get(id)
+	s, ok := e.e.GetOrLoad(id)
 	if !ok {
 		return nil, false
 	}
 	return &Session{s: s}, true
 }
 
-// DeleteSession removes the session registered under id, reporting whether
-// it existed.
+// DeleteSession removes the session registered under id — including, on a
+// durable engine, its journal files — reporting whether it existed.
 func (e *Engine) DeleteSession(id string) bool { return e.e.Delete(id) }
 
-// SessionIDs returns every live session id, sorted.
+// SessionIDs returns every session id, sorted; on a durable engine this
+// includes journaled sessions currently evicted from memory.
 func (e *Engine) SessionIDs() []string { return e.e.IDs() }
 
 // NumSessions returns the number of live sessions.
@@ -383,7 +486,9 @@ func (s *Session) Snapshot() *Snapshot { return &Snapshot{s: s.s.Snapshot()} }
 
 // Restore replaces the session's estimator state with the snapshot's. The
 // snapshot stays valid and can seed further restores. The populations must
-// match.
+// match. Durable sessions reject Restore: a snapshot carries estimator state
+// without the vote stream that produced it, so the write-ahead journal could
+// not represent the rollback.
 func (s *Session) Restore(snap *Snapshot) error {
 	if snap == nil {
 		return fmt.Errorf("dqm: restore from nil snapshot")

@@ -7,6 +7,7 @@ import (
 
 	"dqm/internal/estimator"
 	"dqm/internal/votes"
+	"dqm/internal/wal"
 )
 
 // syntheticBatch builds one task-sized batch of votes over n items.
@@ -114,5 +115,39 @@ func BenchmarkSessionSnapshot(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Snapshot()
+	}
+}
+
+// BenchmarkSessionIngestDurable is BenchmarkSessionIngest with a write-ahead
+// journal under each fsync policy — the apples-to-apples cost of durability
+// on the ingest hot path (BENCHMARKS.md records the ratios).
+func BenchmarkSessionIngestDurable(b *testing.B) {
+	const n, batchSize = 10000, 10
+	for _, p := range []wal.FsyncPolicy{wal.FsyncNever, wal.FsyncBatch, wal.FsyncAlways} {
+		b.Run(p.String(), func(b *testing.B) {
+			e, err := Open(Config{DataDir: b.TempDir(), WAL: wal.Options{Fsync: p}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			s, err := e.Create("bench", n, SessionConfig{
+				Suite: estimator.SuiteConfig{WithoutHistory: true},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batches := make([][]votes.Vote, 64)
+			for i := range batches {
+				batches[i] = syntheticBatch(n, batchSize, i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Append(batches[i%len(batches)], true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "votes/s")
+		})
 	}
 }

@@ -11,13 +11,27 @@
 // shard count; each session serializes its own vote stream with a private
 // mutex (votes within a session form one logical stream — cross-session
 // ingest is what runs in parallel).
+//
+// Durability: with Config.DataDir set (engines built via Open), every session
+// owns a write-ahead journal (package wal). Mutations are journaled before
+// they are applied, under the same session mutex, so the journal order is the
+// apply order; recovery replays the journal through the ordinary ingest path
+// and therefore reproduces estimator state bit-identically. LRU eviction
+// closes a durable session's journal but keeps its files — Load (or GetOrLoad)
+// revives it on demand — while Delete removes the files too.
 package engine
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"dqm/internal/estimator"
+	"dqm/internal/votes"
+	"dqm/internal/wal"
 )
 
 // Config parameterizes an Engine.
@@ -26,13 +40,21 @@ type Config struct {
 	// rounded up to a power of two. 0 selects 16.
 	Shards int
 	// MaxSessions bounds the number of live sessions; creating one more
-	// evicts the least-recently-used session. 0 means unlimited.
+	// evicts the least-recently-used session. 0 means unlimited. On a durable
+	// engine eviction only releases memory: the evicted session's journal is
+	// closed and its files are kept for a later Load.
 	MaxSessions int
 	// OnEvict, when set, is called with the id of every session removed by
 	// the MaxSessions policy (not by explicit Delete), after removal and
 	// outside any engine lock — layers holding per-session state (e.g.
 	// server-side snapshots) use it to release theirs.
 	OnEvict func(id string)
+	// DataDir enables durability: each session journals to a directory under
+	// it. Engines with a DataDir must be built with Open (which recovers
+	// every journaled session); New panics on a non-empty DataDir.
+	DataDir string
+	// WAL tunes the journals when DataDir is set.
+	WAL wal.Options
 }
 
 // Engine manages many concurrent estimation sessions.
@@ -44,6 +66,21 @@ type Engine struct {
 	count   atomic.Int64
 	// evictions counts sessions dropped by the MaxSessions policy.
 	evictions atomic.Int64
+
+	// store is the durability layer; nil for in-memory engines.
+	store *wal.Store
+	// loadMu serializes every operation that can transition a session
+	// between disk and memory on a durable engine — Load, durable Create,
+	// durable Delete, and (transitively, since its durable callers hold it)
+	// eviction. Without it, a Load could recover a session's files while a
+	// concurrent Create/evict/Delete still holds an open journal on them,
+	// ending with two write fds interleaving frames into one segment. These
+	// are all cold paths; one lock is fine.
+	loadMu sync.Mutex
+	// flushStop terminates the background journal flusher (durable engines
+	// under FsyncBatch/FsyncNever); closed exactly once via flushOnce.
+	flushStop chan struct{}
+	flushOnce sync.Once
 }
 
 type shard struct {
@@ -51,8 +88,16 @@ type shard struct {
 	sessions map[string]*Session
 }
 
-// New creates an engine.
+// New creates an in-memory engine. It panics when cfg.DataDir is set: durable
+// engines must go through Open, which can report recovery errors.
 func New(cfg Config) *Engine {
+	if cfg.DataDir != "" {
+		panic("engine: New cannot open a durable engine; use Open")
+	}
+	return newEngine(cfg)
+}
+
+func newEngine(cfg Config) *Engine {
 	n := cfg.Shards
 	if n <= 0 {
 		n = 16
@@ -74,6 +119,131 @@ func New(cfg Config) *Engine {
 	return e
 }
 
+// Open creates an engine and, when cfg.DataDir is set, attaches the
+// durability layer: every journaled session found under the data directory
+// is recovered into memory (estimator state bit-identical to the moment of
+// the last durable frame) before Open returns. With an empty DataDir it is
+// equivalent to New.
+func Open(cfg Config) (*Engine, error) {
+	e := newEngine(cfg)
+	if cfg.DataDir == "" {
+		return e, nil
+	}
+	store, err := wal.OpenStore(cfg.DataDir, cfg.WAL)
+	if err != nil {
+		return nil, err
+	}
+	e.store = store
+	ids, err := store.IDs()
+	if err != nil {
+		return nil, err
+	}
+	// Recover at most MaxSessions eagerly; the rest stay on disk and revive
+	// lazily through Load/GetOrLoad — replaying a session only to evict it
+	// straight back out would make boot O(total journal bytes) instead of
+	// O(cap).
+	if e.max > 0 && len(ids) > e.max {
+		ids = ids[:e.max]
+	}
+	for _, id := range ids {
+		s, err := e.recoverSession(id)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		sh := e.shardFor(id)
+		sh.mu.Lock()
+		sh.sessions[id] = s
+		sh.mu.Unlock()
+		e.count.Add(1)
+	}
+	e.startFlusher(cfg.WAL)
+	return e, nil
+}
+
+// startFlusher launches the background flush loop that bounds how long
+// acknowledged frames may sit in a journal's user-space buffer: under
+// FsyncBatch the documented loss bound is "at most the batch interval", and
+// under FsyncNever frames must still reach the OS even when a session goes
+// idle right after an append. FsyncAlways journals are never dirty, so no
+// loop is needed.
+func (e *Engine) startFlusher(opts wal.Options) {
+	if opts.Fsync == wal.FsyncAlways {
+		return
+	}
+	interval := opts.BatchInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	e.flushStop = make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-e.flushStop:
+				return
+			case <-t.C:
+				for _, s := range e.live() {
+					s.flushJournal(opts.Fsync == wal.FsyncBatch)
+				}
+			}
+		}
+	}()
+}
+
+// Durable reports whether the engine persists sessions to disk.
+func (e *Engine) Durable() bool { return e.store != nil }
+
+// recoverSession rebuilds one session from its journal: latest snapshot plus
+// journal tail, replayed through the ordinary suite ingest path.
+func (e *Engine) recoverSession(id string) (*Session, error) {
+	meta, err := e.store.ReadMeta(id)
+	if err != nil {
+		return nil, err
+	}
+	var cfg SessionConfig
+	if len(meta.Config) > 0 {
+		if err := json.Unmarshal(meta.Config, &cfg); err != nil {
+			return nil, fmt.Errorf("engine: session %q: bad stored config: %w", id, err)
+		}
+	}
+	if err := estimator.ValidateNames(cfg.Suite.Estimators); err != nil {
+		return nil, fmt.Errorf("engine: session %q: %w", id, err)
+	}
+	s := NewSession(id, meta.Items, cfg)
+	if !meta.CreatedAt.IsZero() {
+		s.created = meta.CreatedAt
+	}
+	n := meta.Items
+	j, err := e.store.Recover(id, wal.Hooks{
+		Vote: func(item, worker int, dirty bool) error {
+			if item < 0 || item >= n {
+				return fmt.Errorf("engine: journaled item %d outside population [0, %d)", item, n)
+			}
+			label := votes.Clean
+			if dirty {
+				label = votes.Dirty
+			}
+			s.suite.Observe(votes.Vote{Item: item, Worker: worker, Label: label})
+			return nil
+		},
+		EndTask: func() {
+			s.tasks++
+			s.suite.EndTask()
+		},
+		Reset: func() {
+			s.suite.Reset()
+			s.tasks = 0
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.journal = j
+	return s, nil
+}
+
 // shardFor hashes the session id (FNV-1a) onto a shard.
 func (e *Engine) shardFor(id string) *shard {
 	const (
@@ -90,7 +260,10 @@ func (e *Engine) shardFor(id string) *shard {
 
 // Create registers a new session over a population of n items. It fails on
 // an empty or duplicate id or a non-positive population. When MaxSessions is
-// reached, the least-recently-used session is evicted first.
+// reached, the least-recently-used session is evicted first. On a durable
+// engine an id with journal files on disk counts as a duplicate even when it
+// is not in memory — recovered-but-evicted state is never silently
+// overwritten; Load it or Delete it first.
 func (e *Engine) Create(id string, n int, cfg SessionConfig) (*Session, error) {
 	if id == "" {
 		return nil, fmt.Errorf("engine: empty session id")
@@ -105,6 +278,16 @@ func (e *Engine) Create(id string, n int, cfg SessionConfig) (*Session, error) {
 	if _, dup := e.Get(id); dup {
 		return nil, fmt.Errorf("engine: session %q already exists", id)
 	}
+	if e.store != nil {
+		// Hold loadMu across directory creation and table insertion so a
+		// concurrent Load cannot observe the files of a session that is not
+		// registered yet (and recover a second journal onto them).
+		e.loadMu.Lock()
+		defer e.loadMu.Unlock()
+		if e.store.Exists(id) {
+			return nil, fmt.Errorf("engine: session %q already exists on disk", id)
+		}
+	}
 	if e.max > 0 {
 		for int(e.count.Load()) >= e.max {
 			if !e.evictLRU(id) {
@@ -115,10 +298,25 @@ func (e *Engine) Create(id string, n int, cfg SessionConfig) (*Session, error) {
 	// Build the suite outside the shard lock: construction is O(N) and must
 	// not stall unrelated lookups on the same shard.
 	s := NewSession(id, n, cfg)
+	if e.store != nil {
+		raw, err := json.Marshal(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("engine: encode session config: %w", err)
+		}
+		j, err := e.store.Create(wal.Meta{ID: id, Items: n, CreatedAt: s.created, Config: raw})
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		s.journal = j
+	}
 	sh := e.shardFor(id)
 	sh.mu.Lock()
 	if _, dup := sh.sessions[id]; dup {
 		sh.mu.Unlock()
+		if s.journal != nil {
+			s.closeJournal()
+			_ = e.store.Delete(id)
+		}
 		return nil, fmt.Errorf("engine: session %q already exists", id)
 	}
 	sh.sessions[id] = s
@@ -127,8 +325,12 @@ func (e *Engine) Create(id string, n int, cfg SessionConfig) (*Session, error) {
 	return s, nil
 }
 
-// evictLRU removes the least-recently-used session, skipping keep (the id
-// about to be created). It reports whether anything was evicted.
+// evictLRU removes the least-recently-used session from memory, skipping
+// keep (the id about to be created). On a durable engine the victim's
+// journal is flushed and closed but its files stay for a later Load; every
+// durable caller (Create, Load) holds loadMu, so a concurrent Load cannot
+// recover the victim's files while its journal still has buffered frames.
+// It reports whether anything was evicted.
 func (e *Engine) evictLRU(keep string) bool {
 	var (
 		victim     string
@@ -150,7 +352,8 @@ func (e *Engine) evictLRU(keep string) bool {
 	if victim == "" {
 		return false
 	}
-	if e.Delete(victim) {
+	if s, ok := e.detach(victim); ok {
+		s.closeJournal()
 		e.evictions.Add(1)
 		if e.onEvict != nil {
 			e.onEvict(victim)
@@ -158,6 +361,122 @@ func (e *Engine) evictLRU(keep string) bool {
 		return true
 	}
 	return false
+}
+
+// detach removes a session from the table without touching its files.
+func (e *Engine) detach(id string) (*Session, bool) {
+	sh := e.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if ok {
+		e.count.Add(-1)
+	}
+	return s, ok
+}
+
+// Load revives a journaled session that is not in memory (evicted, or
+// written by an earlier process when the engine skipped boot recovery). It
+// is a no-op returning the live session when one exists.
+func (e *Engine) Load(id string) (*Session, error) {
+	if s, ok := e.Get(id); ok {
+		return s, nil
+	}
+	if e.store == nil {
+		return nil, fmt.Errorf("engine: not durable; session %q cannot be loaded", id)
+	}
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	if s, ok := e.Get(id); ok {
+		return s, nil
+	}
+	if !e.store.Exists(id) {
+		return nil, fmt.Errorf("engine: no journaled session %q", id)
+	}
+	if e.max > 0 {
+		for int(e.count.Load()) >= e.max {
+			if !e.evictLRU(id) {
+				break
+			}
+		}
+	}
+	s, err := e.recoverSession(id)
+	if err != nil {
+		return nil, err
+	}
+	sh := e.shardFor(id)
+	sh.mu.Lock()
+	sh.sessions[id] = s
+	sh.mu.Unlock()
+	e.count.Add(1)
+	return s, nil
+}
+
+// GetOrLoad returns the session registered under id, transparently reviving
+// it from disk on a durable engine.
+func (e *Engine) GetOrLoad(id string) (*Session, bool) {
+	if s, ok := e.Get(id); ok {
+		return s, true
+	}
+	if e.store == nil || !e.store.Exists(id) {
+		return nil, false
+	}
+	s, err := e.Load(id)
+	return s, err == nil
+}
+
+// live snapshots the current session pointers (for whole-engine sweeps that
+// must not hold shard locks while touching sessions).
+func (e *Engine) live() []*Session {
+	out := make([]*Session, 0, e.Len())
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			out = append(out, s)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Checkpoint forces a durable point for every live session: buffered frames
+// are fsynced and, where enough sealed history has accumulated, folded into
+// a snapshot. No-op on in-memory engines.
+func (e *Engine) Checkpoint() error {
+	var firstErr error
+	for _, s := range e.live() {
+		if err := s.checkpointJournal(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close checkpoints and closes every live session's journal. Sessions stay
+// readable in memory, but further durable mutations fail; Close is the final
+// flush on shutdown, and calling it again is a harmless no-op. No-op on
+// in-memory engines.
+func (e *Engine) Close() error {
+	if e.store == nil {
+		return nil
+	}
+	if e.flushStop != nil {
+		e.flushOnce.Do(func() { close(e.flushStop) })
+	}
+	var firstErr error
+	for _, s := range e.live() {
+		if err := s.checkpointJournal(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := s.closeJournal(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Get returns the session registered under id.
@@ -169,19 +488,29 @@ func (e *Engine) Get(id string) (*Session, bool) {
 	return s, ok
 }
 
-// Delete removes the session registered under id, reporting whether it
-// existed. Callers still holding the *Session can keep using it; it is
-// simply detached from the engine.
+// Delete removes the session registered under id — and, on a durable engine,
+// its journal files (including those of an evicted, no-longer-live session) —
+// reporting whether anything existed. Callers still holding the *Session can
+// keep reading it; on a durable engine mutations through the stale handle
+// fail (Append returns a JournalError, the void mutators panic) rather than
+// silently diverging from the deleted journal.
 func (e *Engine) Delete(id string) bool {
-	sh := e.shardFor(id)
-	sh.mu.Lock()
-	_, ok := sh.sessions[id]
-	if ok {
-		delete(sh.sessions, id)
+	if e.store != nil {
+		// Serialize against Load: files must not be removed while a
+		// concurrent recovery is replaying (and about to reopen) them.
+		e.loadMu.Lock()
+		defer e.loadMu.Unlock()
 	}
-	sh.mu.Unlock()
+	s, ok := e.detach(id)
 	if ok {
-		e.count.Add(-1)
+		s.closeJournal()
+	}
+	if e.store != nil {
+		onDisk := e.store.Exists(id)
+		if onDisk {
+			_ = e.store.Delete(id)
+		}
+		return ok || onDisk
 	}
 	return ok
 }
@@ -193,16 +522,33 @@ func (e *Engine) Len() int { return int(e.count.Load()) }
 // policy.
 func (e *Engine) Evictions() int64 { return e.evictions.Load() }
 
-// IDs returns every live session id, sorted.
+// IDs returns every session id, sorted. On a durable engine this includes
+// journaled sessions currently evicted from memory, best-effort: if the data
+// directory is momentarily unreadable, the listing degrades to the live
+// sessions (the sessions themselves remain loadable via Load/GetOrLoad).
 func (e *Engine) IDs() []string {
+	seen := make(map[string]struct{}, e.Len())
 	out := make([]string, 0, e.Len())
 	for i := range e.shards {
 		sh := &e.shards[i]
 		sh.mu.RLock()
 		for id := range sh.sessions {
-			out = append(out, id)
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
 		}
 		sh.mu.RUnlock()
+	}
+	if e.store != nil {
+		if diskIDs, err := e.store.IDs(); err == nil {
+			for _, id := range diskIDs {
+				if _, dup := seen[id]; !dup {
+					seen[id] = struct{}{}
+					out = append(out, id)
+				}
+			}
+		}
 	}
 	sort.Strings(out)
 	return out

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -8,12 +9,30 @@ import (
 
 	"dqm/internal/estimator"
 	"dqm/internal/votes"
+	"dqm/internal/wal"
 	"dqm/internal/xrand"
 )
 
 // defaultCISeed mirrors the historical dqm.Recorder bootstrap seed so the
 // compat wrapper stays bit-identical.
 const defaultCISeed = 0x5eed
+
+// JournalError wraps a write-ahead journal failure. The mutation was NOT
+// applied — write-ahead means the journal is consulted first — and the
+// journal is left in a sticky error state, so subsequent durable mutations
+// on the session keep failing. It marks an infrastructure fault (disk full,
+// closed journal after eviction), not invalid input; API layers should map
+// it to a 5xx, not a 4xx.
+type JournalError struct {
+	SessionID string
+	Err       error
+}
+
+func (e *JournalError) Error() string {
+	return fmt.Sprintf("engine: session %q journal: %v", e.SessionID, e.Err)
+}
+
+func (e *JournalError) Unwrap() error { return e.Err }
 
 // SessionConfig parameterizes one dataset session.
 type SessionConfig struct {
@@ -39,6 +58,11 @@ type Session struct {
 	mu    sync.Mutex
 	suite *estimator.Suite
 	tasks int64
+
+	// journal is the write-ahead log of a durable session (nil otherwise).
+	// Every mutation is journaled before it is applied, under mu, so journal
+	// order equals apply order and recovery replays to bit-identical state.
+	journal *wal.Journal
 
 	ciSeed   uint64
 	lastUsed atomic.Int64 // unix nanos; read lock-free by the evictor
@@ -72,24 +96,38 @@ func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) 
 
 func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
 
-// Record ingests one vote. It panics on an out-of-range item, mirroring
-// slice semantics; external input should go through Append, which validates.
+// Record ingests one vote. It panics on an out-of-range item (mirroring
+// slice semantics) and on a journal write failure; external input should go
+// through Append, which validates and returns errors instead.
 func (s *Session) Record(item, worker int, dirty bool) {
 	label := votes.Clean
 	if dirty {
 		label = votes.Dirty
 	}
+	v := votes.Vote{Item: item, Worker: worker, Label: label}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.suite.Observe(votes.Vote{Item: item, Worker: worker, Label: label})
+	if s.journal != nil {
+		// Check the range before the write-ahead: the journal must never
+		// hold a vote that replay would reject.
+		if item < 0 || item >= s.suite.NumItems() {
+			panic(fmt.Sprintf("engine: item %d outside population [0, %d)", item, s.suite.NumItems()))
+		}
+		if err := s.journal.Append([]votes.Vote{v}, false); err != nil {
+			panic(fmt.Sprintf("engine: session %q journal: %v", s.id, err))
+		}
+	}
+	s.suite.Observe(v)
 	s.touch()
 }
 
 // Append ingests a batch of votes under one lock acquisition and, when
 // endTask is set, marks a task boundary after the batch. It validates item
 // ranges up front — the whole batch is rejected before any vote is applied,
-// so a bad request cannot leave a half-ingested task behind. This is the
-// boundary external (HTTP) input crosses.
+// so a bad request cannot leave a half-ingested task behind. On a durable
+// session the batch is journaled (one group-commit frame) before it is
+// applied; a journal error rejects the batch with in-memory state untouched.
+// This is the boundary external (HTTP) input crosses.
 func (s *Session) Append(batch []votes.Vote, endTask bool) error {
 	n := s.NumItems()
 	for i, v := range batch {
@@ -99,6 +137,11 @@ func (s *Session) Append(batch []votes.Vote, endTask bool) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.journal != nil {
+		if err := s.journal.Append(batch, endTask); err != nil {
+			return &JournalError{SessionID: s.id, Err: err}
+		}
+	}
 	for _, v := range batch {
 		s.suite.Observe(v)
 	}
@@ -111,10 +154,16 @@ func (s *Session) Append(batch []votes.Vote, endTask bool) error {
 }
 
 // EndTask marks a task boundary. The SWITCH trend detector operates on the
-// per-task majority series.
+// per-task majority series. It panics on a journal write failure (use Append
+// with endTask for an error-returning path).
 func (s *Session) EndTask() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.journal != nil {
+		if err := s.journal.EndTask(); err != nil {
+			panic(fmt.Sprintf("engine: session %q journal: %v", s.id, err))
+		}
+	}
 	s.tasks++
 	s.suite.EndTask()
 	s.touch()
@@ -172,13 +221,77 @@ func (s *Session) MajorityDirty(item int) bool {
 }
 
 // Reset clears the vote stream and every estimator, keeping the session
-// registered.
+// registered. On a durable session the reset is journaled; the next
+// compaction discards all pre-reset history. It panics on a journal write
+// failure.
 func (s *Session) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.journal != nil {
+		if err := s.journal.Reset(); err != nil {
+			panic(fmt.Sprintf("engine: session %q journal: %v", s.id, err))
+		}
+	}
 	s.suite.Reset()
 	s.tasks = 0
 	s.touch()
+}
+
+// Durable reports whether the session journals its mutations.
+func (s *Session) Durable() bool { return s.journal != nil }
+
+// Sync flushes any buffered journal frames to stable storage (no-op for
+// in-memory sessions).
+func (s *Session) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Sync()
+}
+
+// checkpointJournal forces a durable point (fsync + compaction when due).
+// An already-closed journal (evicted session, repeated engine Close) is a
+// no-op, not an error.
+func (s *Session) checkpointJournal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	if err := s.journal.Checkpoint(); err != nil && !errors.Is(err, wal.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// flushJournal is the background-flusher hook: it bounds how long
+// acknowledged frames sit in the journal's user-space buffer. With sync set
+// it also fsyncs (FsyncBatch's loss bound); otherwise frames are only handed
+// to the OS (FsyncNever). Errors are left in the journal's sticky state for
+// the next mutation to surface.
+func (s *Session) flushJournal(sync bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return
+	}
+	if sync {
+		_ = s.journal.Sync()
+	} else {
+		_ = s.journal.Flush()
+	}
+}
+
+// closeJournal flushes and closes the journal (eviction and engine close).
+func (s *Session) closeJournal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Close()
 }
 
 // SwitchCI computes a bootstrap confidence interval for the SWITCH total
@@ -225,6 +338,12 @@ func (s *Session) Restore(sn *Snapshot) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.journal != nil {
+		// A snapshot is a deep clone of estimator state without the vote
+		// stream that produced it, so the write-ahead journal cannot
+		// represent a restore; allowing one would silently diverge recovery.
+		return fmt.Errorf("engine: session %q is durable; in-memory snapshot restore is not supported (replay the journal instead)", s.id)
+	}
 	// Hold the snapshot's own lock while cloning: Snapshot.Estimates mutates
 	// scratch state inside the suite, so an unguarded concurrent Clone would
 	// race (sn.mu is always the innermost lock; nothing under it takes s.mu).

@@ -1,0 +1,170 @@
+package votelog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Binary vote-log encoding: the compact interchange format for large logs
+// (a few bytes per vote instead of ~20 for CSV/JSONL), mirroring the
+// varint record scheme of the engine's write-ahead journal (internal/wal).
+//
+// Layout: 5-byte header (magic "DQMV", version 1), then records:
+//
+//	0x54 ('T')  zigzag-varint(task - prevTask): task id of following votes
+//	0x56 ('V')  uvarint(item<<1 | dirty), zigzag-varint(worker)
+//
+// A task record is emitted before the first vote and at every task-id
+// change; votes inherit the current task id. The stream carries exactly the
+// Entry fields, so CSV ⇄ JSONL ⇄ binary conversions are lossless; task and
+// worker ids are bounded to int32 for portability, and the writer rejects
+// anything larger instead of emitting a file its own reader would refuse.
+var binaryMagic = []byte{'D', 'Q', 'M', 'V', 1}
+
+const (
+	binOpTask byte = 'T'
+	binOpVote byte = 'V'
+)
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// WriteBinary encodes entries in the binary vote-log format.
+func WriteBinary(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic); err != nil {
+		return err
+	}
+	var buf [2 * binary.MaxVarintLen64]byte
+	task := 0
+	first := true
+	for _, e := range entries {
+		if e.Item < 0 {
+			return fmt.Errorf("votelog: negative item id %d", e.Item)
+		}
+		// The reader bounds task and worker ids to int32 (so logs stay
+		// portable to 32-bit platforms); enforce the same bound here rather
+		// than write a file our own reader refuses.
+		if e.Task < math.MinInt32 || e.Task > math.MaxInt32 {
+			return fmt.Errorf("votelog: task id %d outside the binary format's int32 range", e.Task)
+		}
+		if e.Worker < math.MinInt32 || e.Worker > math.MaxInt32 {
+			return fmt.Errorf("votelog: worker id %d outside the binary format's int32 range", e.Worker)
+		}
+		if first || e.Task != task {
+			bw.WriteByte(binOpTask)
+			n := binary.PutUvarint(buf[:], zigzag(int64(e.Task)-int64(task)))
+			bw.Write(buf[:n])
+			task = e.Task
+			first = false
+		}
+		bw.WriteByte(binOpVote)
+		key := uint64(e.Item) << 1
+		if e.Dirty {
+			key |= 1
+		}
+		n := binary.PutUvarint(buf[:], key)
+		n += binary.PutUvarint(buf[n:], zigzag(int64(e.Worker)))
+		bw.Write(buf[:n])
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a binary vote log.
+func ReadBinary(r io.Reader) ([]Entry, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, hdr); err != nil || string(hdr) != string(binaryMagic) {
+		return nil, fmt.Errorf("votelog: bad binary header (want magic %q version %d)", binaryMagic[:4], binaryMagic[4])
+	}
+	var out []Entry
+	task := 0
+	for {
+		op, err := br.ReadByte()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("votelog: %w", err)
+		}
+		switch op {
+		case binOpTask:
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("votelog: record %d: bad task delta", len(out))
+			}
+			t := int64(task) + unzigzag(d)
+			if t < math.MinInt32 || t > math.MaxInt32 {
+				return nil, fmt.Errorf("votelog: record %d: task id %d out of range", len(out), t)
+			}
+			task = int(t)
+		case binOpVote:
+			key, err := binary.ReadUvarint(br)
+			if err != nil || key>>1 > math.MaxInt {
+				return nil, fmt.Errorf("votelog: record %d: bad item", len(out))
+			}
+			wv, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("votelog: record %d: bad worker", len(out))
+			}
+			worker := unzigzag(wv)
+			if worker < math.MinInt32 || worker > math.MaxInt32 {
+				return nil, fmt.Errorf("votelog: record %d: worker id %d out of range", len(out), worker)
+			}
+			out = append(out, Entry{
+				Task:   task,
+				Item:   int(key >> 1),
+				Worker: int(worker),
+				Dirty:  key&1 == 1,
+			})
+		default:
+			return nil, fmt.Errorf("votelog: record %d: unknown opcode 0x%02x", len(out), op)
+		}
+	}
+}
+
+// DetectFormat infers a log format from a file path extension: ".bin" and
+// ".dqmb" mean binary, ".jsonl"/".ndjson" mean JSONL, anything else CSV.
+func DetectFormat(path string) string {
+	switch {
+	case strings.HasSuffix(path, ".bin"), strings.HasSuffix(path, ".dqmb"):
+		return "binary"
+	case strings.HasSuffix(path, ".jsonl"), strings.HasSuffix(path, ".ndjson"):
+		return "jsonl"
+	default:
+		return "csv"
+	}
+}
+
+// Read decodes a vote log in the named format ("csv", "jsonl" or "binary").
+func Read(r io.Reader, format string) ([]Entry, error) {
+	switch format {
+	case "csv":
+		return ReadCSV(r)
+	case "jsonl":
+		return ReadJSONL(r)
+	case "binary":
+		return ReadBinary(r)
+	default:
+		return nil, fmt.Errorf("votelog: unknown format %q (want csv, jsonl or binary)", format)
+	}
+}
+
+// Write encodes a vote log in the named format ("csv", "jsonl" or "binary").
+func Write(w io.Writer, format string, entries []Entry) error {
+	switch format {
+	case "csv":
+		return WriteCSV(w, entries)
+	case "jsonl":
+		return WriteJSONL(w, entries)
+	case "binary":
+		return WriteBinary(w, entries)
+	default:
+		return fmt.Errorf("votelog: unknown format %q (want csv, jsonl or binary)", format)
+	}
+}

@@ -1,0 +1,152 @@
+package votelog
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+func genEntries(seed int64, n int) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Entry, n)
+	task := 0
+	for i := range out {
+		if rng.Intn(4) == 0 {
+			task++
+		}
+		out[i] = Entry{
+			Task:   task,
+			Item:   rng.Intn(10000),
+			Worker: rng.Intn(50) - 5, // include negative worker ids
+			Dirty:  rng.Intn(2) == 0,
+		}
+	}
+	return out
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, entries := range [][]Entry{
+		nil,
+		{{Task: 7, Item: 0, Worker: 0, Dirty: true}}, // nonzero initial task id
+		genEntries(1, 500),
+	} {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, entries); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("empty log decoded to %d entries", len(got))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, entries) {
+			t.Fatalf("round trip mismatch: got %d entries, want %d", len(got), len(entries))
+		}
+	}
+}
+
+func TestBinaryIsCompact(t *testing.T) {
+	entries := genEntries(2, 2000)
+	var csvBuf, binBuf bytes.Buffer
+	if err := WriteCSV(&csvBuf, entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&binBuf, entries); err != nil {
+		t.Fatal(err)
+	}
+	if binBuf.Len()*3 > csvBuf.Len() {
+		t.Fatalf("binary log %dB not at least 3x smaller than CSV %dB", binBuf.Len(), csvBuf.Len())
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{
+		{},
+		[]byte("task,item,worker,label\n"),
+		append(append([]byte{}, binaryMagic...), 0x00),
+		append(append([]byte{}, binaryMagic...), binOpVote), // truncated vote
+	} {
+		if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+			t.Fatalf("garbage %v decoded without error", b)
+		}
+	}
+}
+
+func TestReadWriteDispatchAndDetect(t *testing.T) {
+	entries := genEntries(3, 50)
+	for _, format := range []string{"csv", "jsonl", "binary"} {
+		var buf bytes.Buffer
+		if err := Write(&buf, format, entries); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf, format)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if !reflect.DeepEqual(got, entries) {
+			t.Fatalf("%s: round trip mismatch", format)
+		}
+	}
+	if _, err := Read(bytes.NewReader(nil), "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	for path, want := range map[string]string{
+		"votes.bin": "binary", "x.dqmb": "binary", "a.jsonl": "jsonl",
+		"b.ndjson": "jsonl", "votes.csv": "csv", "": "csv",
+	} {
+		if got := DetectFormat(path); got != want {
+			t.Fatalf("DetectFormat(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// FuzzBinaryVotelog: arbitrary bytes must never panic the decoder, and
+// anything it accepts must re-encode and re-decode to the same entries.
+func FuzzBinaryVotelog(f *testing.F) {
+	f.Add([]byte{})
+	var seed bytes.Buffer
+	_ = WriteBinary(&seed, genEntries(4, 30))
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:seed.Len()/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, entries); err != nil {
+			t.Fatalf("re-encode of accepted log failed: %v", err)
+		}
+		again, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(entries) != len(again) || (len(entries) > 0 && !reflect.DeepEqual(entries, again)) {
+			t.Fatal("binary round trip not stable")
+		}
+	})
+}
+
+func TestBinaryWriterRejectsOutOfRangeIDs(t *testing.T) {
+	if strconv.IntSize == 32 {
+		t.Skip("int32 platform cannot construct out-of-range ids")
+	}
+	big := int(math.MaxInt32) + 1
+	for _, entries := range [][]Entry{
+		{{Task: big, Item: 1, Worker: 0}},
+		{{Task: 0, Item: 1, Worker: -big - 1}},
+	} {
+		if err := WriteBinary(io.Discard, entries); err == nil {
+			t.Fatalf("WriteBinary accepted out-of-range ids %+v", entries[0])
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dqm/internal/votes"
+)
+
+// BenchmarkJournalAppend measures raw journal throughput per fsync policy,
+// appending 1000-vote tasks (the group-commit unit the engine hands down).
+// Compare against BenchmarkEngineAppend in internal/engine for the in-memory
+// baseline the acceptance criteria reference.
+func BenchmarkJournalAppend(b *testing.B) {
+	const batchSize = 1000
+	batch := make([]votes.Vote, batchSize)
+	for i := range batch {
+		label := votes.Clean
+		if i%3 == 0 {
+			label = votes.Dirty
+		}
+		batch[i] = votes.Vote{Item: i % 512, Worker: i % 25, Label: label}
+	}
+	for _, p := range []FsyncPolicy{FsyncNever, FsyncBatch, FsyncAlways} {
+		b.Run(p.String(), func(b *testing.B) {
+			s, err := OpenStore(b.TempDir(), Options{Fsync: p, BatchInterval: 100 * time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			j, err := s.Create(Meta{ID: fmt.Sprintf("bench-%s", p), Items: 512, CreatedAt: time.Now()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := j.Append(batch, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			votesPerSec := float64(b.N) * batchSize / b.Elapsed().Seconds()
+			b.ReportMetric(votesPerSec/1e6, "Mvotes/s")
+		})
+	}
+}

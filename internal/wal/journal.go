@@ -1,0 +1,314 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dqm/internal/votes"
+)
+
+// ErrClosed is returned by operations on a closed (or evicted) journal.
+var ErrClosed = errors.New("wal: journal closed")
+
+// Journal is the write-ahead log of one session: an active segment receiving
+// group-committed frames, zero or more sealed segments, and at most one
+// snapshot covering everything before them. The session engine serializes
+// calls (the journal is written under the session mutex), so Journal does no
+// locking of its own.
+type Journal struct {
+	dir  string
+	opts Options
+
+	f    *os.File // active segment
+	seq  uint64   // active segment sequence number
+	size int64    // bytes written (flushed) to the active segment
+
+	// wbuf accumulates committed frames not yet handed to the OS: the
+	// user-space half of group commit. It drains on flushChunk overflow,
+	// Sync, rotation and Close. Under FsyncAlways every commit drains it
+	// immediately, so nothing acknowledged ever sits here; under
+	// FsyncBatch/FsyncNever a crash can lose it, which those policies
+	// permit by contract.
+	wbuf []byte
+
+	snapSeq     uint64 // highest segment covered by the snapshot (0 = none)
+	snapBytes   int64  // size of the current snapshot file
+	sealedBytes int64  // bytes in sealed segments not yet compacted
+
+	// err is sticky: after any write failure the journal refuses further
+	// appends, because bytes may have reached the file without being framed —
+	// appending more frames after them would put intact frames beyond a torn
+	// one, which recovery (correctly) refuses to read past.
+	err error
+
+	dirty    bool // unsynced frames in the active segment
+	lastSync time.Time
+
+	buf []byte // payload scratch, reused across appends
+}
+
+func segPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016d.seg", seq))
+}
+
+func snapPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016d.bin", seq))
+}
+
+// createSegment opens a fresh segment file and writes its header.
+func createSegment(dir string, seq uint64) (*os.File, int64, error) {
+	f, err := os.OpenFile(segPath(dir, seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, int64(len(segMagic)), nil
+}
+
+// Append write-ahead-logs one engine batch (the group-commit unit): the
+// votes, plus a task boundary when endTask is set. It must be called before
+// the batch is applied to in-memory state.
+func (j *Journal) Append(batch []votes.Vote, endTask bool) error {
+	if j.err != nil {
+		return j.err
+	}
+	if len(batch) == 0 && !endTask {
+		return nil
+	}
+	payload := j.buf[:0]
+	for _, v := range batch {
+		payload = appendVote(payload, v)
+	}
+	if endTask {
+		payload = append(payload, opEnd)
+	}
+	j.buf = payload
+	return j.commit(payload)
+}
+
+// EndTask logs a bare task boundary.
+func (j *Journal) EndTask() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.commit([]byte{opEnd})
+}
+
+// Reset logs a session reset. The next compaction discards everything before
+// it.
+func (j *Journal) Reset() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.commit([]byte{opReset})
+}
+
+// flushChunk drains the user-space frame buffer to the OS once it exceeds
+// this size, bounding both memory and write-syscall frequency.
+const flushChunk = 64 << 10
+
+// commit appends one frame to the group-commit buffer and applies the fsync
+// policy, rotating and compacting when thresholds are crossed.
+func (j *Journal) commit(payload []byte) error {
+	j.wbuf = appendFrame(j.wbuf, payload)
+	j.dirty = true
+	if len(j.wbuf) >= flushChunk {
+		if err := j.flush(); err != nil {
+			return err
+		}
+	}
+	if j.size+int64(len(j.wbuf)) >= j.opts.SegmentBytes {
+		if err := j.rotate(); err != nil {
+			return err
+		}
+		if j.sealedBytes >= j.opts.CompactAfter && j.sealedBytes >= j.snapBytes {
+			if err := j.compact(); err != nil {
+				return err
+			}
+		}
+	}
+	switch j.opts.Fsync {
+	case FsyncAlways:
+		return j.Sync()
+	case FsyncBatch:
+		if time.Since(j.lastSync) >= j.opts.BatchInterval {
+			return j.Sync()
+		}
+	}
+	return nil
+}
+
+// Flush drains buffered frames to the OS without fsyncing — the FsyncNever
+// idle bound (background flushers call it so acknowledged frames cannot sit
+// in process memory indefinitely).
+func (j *Journal) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.flush()
+}
+
+// flush drains buffered frames to the OS.
+func (j *Journal) flush() error {
+	if len(j.wbuf) == 0 {
+		return nil
+	}
+	n, err := j.f.Write(j.wbuf)
+	if err != nil {
+		j.err = fmt.Errorf("wal: append: %w", err)
+		return j.err
+	}
+	j.size += int64(n)
+	j.wbuf = j.wbuf[:0]
+	return nil
+}
+
+// Sync flushes buffered frames and fsyncs the active segment.
+func (j *Journal) Sync() error {
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.flush(); err != nil {
+		return err
+	}
+	if j.dirty {
+		if err := j.f.Sync(); err != nil {
+			j.err = fmt.Errorf("wal: fsync: %w", err)
+			return j.err
+		}
+		j.dirty = false
+	}
+	j.lastSync = time.Now()
+	return nil
+}
+
+// rotate seals the active segment and starts the next one.
+func (j *Journal) rotate() error {
+	if err := j.Sync(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		j.err = fmt.Errorf("wal: rotate: %w", err)
+		return j.err
+	}
+	j.sealedBytes += j.size
+	f, size, err := createSegment(j.dir, j.seq+1)
+	if err != nil {
+		j.err = fmt.Errorf("wal: rotate: %w", err)
+		return j.err
+	}
+	j.f, j.size = f, size
+	j.seq++
+	return nil
+}
+
+// compact rewrites snapshot + sealed segments into one new snapshot and
+// deletes the files it covers. Everything before the last opReset is dropped
+// — that is the only place journal history actually shrinks; otherwise the
+// snapshot is the full (compactly re-encoded) record stream, which replays
+// through the same ingest path as live votes and is therefore bit-identical
+// by construction.
+func (j *Journal) compact() error {
+	if j.err != nil {
+		return j.err
+	}
+	through := j.seq - 1 // everything sealed; the active segment stays
+	if through == 0 || through == j.snapSeq {
+		return nil
+	}
+	body := make([]byte, 0, j.snapBytes+j.sealedBytes)
+	appendHooks := Hooks{
+		Vote: func(item, worker int, dirty bool) error {
+			label := votes.Clean
+			if dirty {
+				label = votes.Dirty
+			}
+			body = appendVote(body, votes.Vote{Item: item, Worker: worker, Label: label})
+			return nil
+		},
+		EndTask: func() { body = append(body, opEnd) },
+		Reset:   func() { body = body[:0] },
+	}
+	if j.snapSeq > 0 {
+		old, err := readSnapshotBody(snapPath(j.dir, j.snapSeq))
+		if err != nil {
+			j.err = fmt.Errorf("wal: compact: %w", err)
+			return j.err
+		}
+		if err := decodeRecords(old, appendHooks); err != nil {
+			j.err = fmt.Errorf("wal: compact: %w", err)
+			return j.err
+		}
+	}
+	var scratch []byte
+	for seq := j.snapSeq + 1; seq <= through; seq++ {
+		res, sc, err := scanSegment(segPath(j.dir, seq), appendHooks, scratch)
+		scratch = sc
+		if err == nil && !res.clean {
+			err = fmt.Errorf("wal: compact: segment %d has a torn tail", seq)
+		}
+		if err != nil {
+			j.err = err
+			return j.err
+		}
+	}
+	newSnap := snapPath(j.dir, through)
+	if err := writeSnapshot(newSnap, body); err != nil {
+		j.err = fmt.Errorf("wal: compact: %w", err)
+		return j.err
+	}
+	// The new snapshot is durable; covered files are now garbage.
+	for seq := j.snapSeq + 1; seq <= through; seq++ {
+		os.Remove(segPath(j.dir, seq))
+	}
+	if j.snapSeq > 0 {
+		os.Remove(snapPath(j.dir, j.snapSeq))
+	}
+	_ = syncDir(j.dir)
+	fi, err := os.Stat(newSnap)
+	if err != nil {
+		j.err = err
+		return j.err
+	}
+	j.snapSeq = through
+	j.snapBytes = fi.Size()
+	j.sealedBytes = 0
+	return nil
+}
+
+// Checkpoint forces a durable point: the active segment is synced and, when
+// enough sealed history has accumulated, folded into a snapshot. Shutdown
+// paths call it so the next boot recovers from a compact prefix.
+func (j *Journal) Checkpoint() error {
+	if j.err != nil {
+		return j.err
+	}
+	if j.sealedBytes > 0 && j.sealedBytes >= j.snapBytes {
+		if err := j.compact(); err != nil {
+			return err
+		}
+	}
+	return j.Sync()
+}
+
+// Close syncs and closes the journal. Further operations return ErrClosed.
+func (j *Journal) Close() error {
+	if j.err == ErrClosed {
+		return nil
+	}
+	err := j.Sync()
+	if cerr := j.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	j.err = ErrClosed
+	return err
+}
+
+// Dir returns the journal's directory (diagnostics and tests).
+func (j *Journal) Dir() string { return j.dir }

@@ -1,0 +1,83 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dqm/internal/votes"
+)
+
+// Record opcodes. A frame payload is a sequence of these.
+const (
+	opVote  byte = 0x01 // uvarint(item<<1 | dirty), zigzag-varint(worker)
+	opEnd   byte = 0x02 // task boundary
+	opReset byte = 0x03 // clear all session state
+)
+
+// Hooks receives the decoded record stream during replay. Vote may reject a
+// record (e.g. an out-of-population item after external tampering); the
+// error aborts replay and is reported as corruption, not as a torn tail.
+type Hooks struct {
+	Vote    func(item, worker int, dirty bool) error
+	EndTask func()
+	Reset   func()
+}
+
+// zigzag maps signed onto unsigned varint-friendly integers.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendVote appends one opVote record.
+func appendVote(buf []byte, v votes.Vote) []byte {
+	key := uint64(v.Item) << 1
+	if v.Label == votes.Dirty {
+		key |= 1
+	}
+	buf = append(buf, opVote)
+	buf = binary.AppendUvarint(buf, key)
+	return binary.AppendUvarint(buf, zigzag(int64(v.Worker)))
+}
+
+// decodeRecords streams one frame payload (or snapshot body) through h.
+func decodeRecords(p []byte, h Hooks) error {
+	for len(p) > 0 {
+		op := p[0]
+		p = p[1:]
+		switch op {
+		case opVote:
+			key, n := binary.Uvarint(p)
+			if n <= 0 || key>>1 > math.MaxInt {
+				return fmt.Errorf("wal: bad vote item varint")
+			}
+			p = p[n:]
+			w, n := binary.Uvarint(p)
+			if n <= 0 {
+				return fmt.Errorf("wal: bad vote worker varint")
+			}
+			p = p[n:]
+			worker := unzigzag(w)
+			if int64(int(worker)) != worker {
+				return fmt.Errorf("wal: worker id %d out of range", worker)
+			}
+			if h.Vote != nil {
+				if err := h.Vote(int(key>>1), int(worker), key&1 == 1); err != nil {
+					return err
+				}
+			}
+		case opEnd:
+			if h.EndTask != nil {
+				h.EndTask()
+			}
+		case opReset:
+			if h.Reset != nil {
+				h.Reset()
+			}
+		default:
+			return fmt.Errorf("wal: unknown record opcode 0x%02x", op)
+		}
+	}
+	return nil
+}

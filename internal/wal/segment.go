@@ -1,0 +1,186 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+var (
+	segMagic  = []byte{'D', 'Q', 'M', 'W', 1}
+	snapMagic = []byte{'D', 'Q', 'M', 'S', 1}
+)
+
+// errBadHeader marks a segment whose header never made it to disk; on the
+// final segment that is a torn tail from a crash at creation time, anywhere
+// else it is fatal corruption.
+var errBadHeader = errors.New("bad segment header")
+
+// castagnoli is the CRC32C polynomial table (the storage-standard variant).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxFramePayload rejects absurd frame lengths before allocating; real frames
+// are bounded by the engine's ingest batch limits.
+const maxFramePayload = 1 << 26
+
+// appendFrame appends one CRC32C-framed payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// countingReader tracks the byte offset consumed from the underlying reader.
+type countingReader struct {
+	r   *bufio.Reader
+	off int64
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.off++
+	}
+	return b, err
+}
+
+func (c *countingReader) full(p []byte) error {
+	n, err := io.ReadFull(c.r, p)
+	c.off += int64(n)
+	return err
+}
+
+// scanResult reports how far a segment scan got.
+type scanResult struct {
+	// valid is the offset just past the last intact frame; bytes beyond it
+	// are a torn tail (or absent).
+	valid int64
+	// clean reports that the scan consumed the file exactly (no torn tail).
+	clean bool
+}
+
+// scanSegment replays every intact frame of a segment file through h. A
+// truncated or CRC-corrupt frame ends the scan — the caller decides whether a
+// torn tail is tolerable (final segment) or fatal (sealed segment). An error
+// is returned only for structural impossibilities (bad header) or a hook
+// rejection, both of which mean the data must not be trusted at all.
+func scanSegment(path string, h Hooks, scratch []byte) (scanResult, []byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return scanResult{}, scratch, err
+	}
+	defer f.Close()
+
+	cr := &countingReader{r: bufio.NewReaderSize(f, 1<<16)}
+	hdr := make([]byte, len(segMagic))
+	if err := cr.full(hdr); err != nil || string(hdr) != string(segMagic) {
+		return scanResult{}, scratch, fmt.Errorf("wal: %s: %w", filepath.Base(path), errBadHeader)
+	}
+	res := scanResult{valid: cr.off}
+	for {
+		size, err := binary.ReadUvarint(cr)
+		if err == io.EOF && cr.off == res.valid {
+			res.clean = true
+			return res, scratch, nil
+		}
+		if err != nil || size > maxFramePayload {
+			return res, scratch, nil // torn length prefix
+		}
+		var crcb [4]byte
+		if err := cr.full(crcb[:]); err != nil {
+			return res, scratch, nil
+		}
+		if int64(size) > int64(cap(scratch)) {
+			scratch = make([]byte, size)
+		}
+		payload := scratch[:size]
+		if err := cr.full(payload); err != nil {
+			return res, scratch, nil
+		}
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(crcb[:]) {
+			return res, scratch, nil // torn or corrupt frame
+		}
+		if err := decodeRecords(payload, h); err != nil {
+			// The CRC matched but the records are malformed (or rejected by
+			// the hook): the frame was not written by this codec. Refuse the
+			// whole segment rather than guess.
+			return res, scratch, fmt.Errorf("wal: %s: frame at offset %d: %w", filepath.Base(path), res.valid, err)
+		}
+		res.valid = cr.off
+	}
+}
+
+// writeSnapshot atomically writes a snapshot file holding body (a record
+// stream) at path: temp file, fsync, rename, directory fsync.
+func writeSnapshot(path string, body []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	sum := crc32.Checksum(snapMagic, castagnoli)
+	sum = crc32.Update(sum, castagnoli, body)
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], sum)
+	_, err = f.Write(segBodyTrailer(snapMagic, body, trailer[:]))
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// segBodyTrailer concatenates the snapshot sections into one write.
+func segBodyTrailer(magic, body, trailer []byte) []byte {
+	out := make([]byte, 0, len(magic)+len(body)+len(trailer))
+	out = append(out, magic...)
+	out = append(out, body...)
+	return append(out, trailer...)
+}
+
+// readSnapshotBody loads and integrity-checks a snapshot file, returning its
+// record stream. Validation completes before any record is interpreted, so a
+// partially written snapshot can be rejected without side effects.
+func readSnapshotBody(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < len(snapMagic)+4 || string(b[:len(snapMagic)]) != string(snapMagic) {
+		return nil, fmt.Errorf("wal: %s: bad snapshot header", filepath.Base(path))
+	}
+	body := b[len(snapMagic) : len(b)-4]
+	want := binary.LittleEndian.Uint32(b[len(b)-4:])
+	sum := crc32.Checksum(b[:len(b)-4], castagnoli)
+	if sum != want {
+		return nil, fmt.Errorf("wal: %s: snapshot checksum mismatch", filepath.Base(path))
+	}
+	return body, nil
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are durable.
+// Failures are reported but non-fatal on filesystems that reject dir fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync() // best-effort: some filesystems refuse directory fsync
+	return nil
+}

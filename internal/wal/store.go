@@ -1,0 +1,353 @@
+package wal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Store maps session ids onto per-session journal directories under one data
+// directory. It holds no per-session state itself — journals are owned by the
+// sessions that opened them — so its methods are safe for concurrent use as
+// long as each session id is operated on by one caller at a time (the engine
+// guarantees this).
+type Store struct {
+	dir  string
+	opts Options
+}
+
+// OpenStore opens (creating if needed) a data directory.
+func OpenStore(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open store: %w", err)
+	}
+	return &Store{dir: dir, opts: opts.withDefaults()}, nil
+}
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Meta is the immutable descriptor of one journaled session, persisted as
+// meta.json in its directory.
+type Meta struct {
+	Version   int             `json:"version"`
+	ID        string          `json:"id"`
+	Items     int             `json:"items"`
+	CreatedAt time.Time       `json:"created_at"`
+	Config    json.RawMessage `json:"config,omitempty"`
+}
+
+// maxHexID bounds the raw-byte length hex-escaped into a directory name;
+// beyond it the name would approach NAME_MAX, so long ids hash instead.
+const maxHexID = 100
+
+// dirFor encodes a session id as a filesystem-safe directory name. Ids that
+// are already safe are kept readable; short unsafe ids hex-escape behind a
+// "%" prefix (invertible); long ids get a "#"-prefixed SHA-256 name, with
+// the true id recorded in meta.json (IDs reads it back from there). No safe
+// name can start with "%" or "#", so the three namespaces cannot collide.
+func dirFor(id string) string {
+	if safeDirName(id) {
+		return id
+	}
+	if len(id) <= maxHexID {
+		return "%" + hex.EncodeToString([]byte(id))
+	}
+	sum := sha256.Sum256([]byte(id))
+	return "#" + hex.EncodeToString(sum[:])
+}
+
+// idFromDir inverts dirFor.
+func idFromDir(name string) (string, bool) {
+	if strings.HasPrefix(name, "%") {
+		b, err := hex.DecodeString(name[1:])
+		if err != nil {
+			return "", false
+		}
+		return string(b), true
+	}
+	if !safeDirName(name) {
+		return "", false
+	}
+	return name, true
+}
+
+// safeDirName admits short names of [A-Za-z0-9._-] not starting with '.',
+// '-' or '%'.
+func safeDirName(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case (c == '.' || c == '-' || c == '_') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sessionDir returns the directory of a session id.
+func (s *Store) sessionDir(id string) string { return filepath.Join(s.dir, dirFor(id)) }
+
+// Exists reports whether a session directory exists for id.
+func (s *Store) Exists(id string) bool {
+	_, err := os.Stat(filepath.Join(s.sessionDir(id), "meta.json"))
+	return err == nil
+}
+
+// IDs returns every session id with a directory in the store, sorted.
+func (s *Store) IDs() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasPrefix(name, "#") {
+			// Hashed directory names are not invertible; the id lives in
+			// meta.json. A dir whose meta is unreadable is skipped (it is
+			// not recoverable anyway).
+			if m, err := readMetaFile(filepath.Join(s.dir, name)); err == nil {
+				out = append(out, m.ID)
+			}
+			continue
+		}
+		if id, ok := idFromDir(name); ok {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Delete removes a session's directory and everything in it.
+func (s *Store) Delete(id string) error {
+	if err := os.RemoveAll(s.sessionDir(id)); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// Create makes a fresh journal directory for a session. It fails if one
+// already exists (even for a session the engine no longer has in memory —
+// on-disk state must be recovered or deleted explicitly, never silently
+// overwritten).
+func (s *Store) Create(meta Meta) (*Journal, error) {
+	dir := s.sessionDir(meta.ID)
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("wal: session %q already exists on disk at %s", meta.ID, dir)
+		}
+		return nil, err
+	}
+	meta.Version = 1
+	if err := writeMeta(dir, meta); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	f, size, err := createSegment(dir, 1)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	_ = syncDir(s.dir)
+	return &Journal{dir: dir, opts: s.opts, f: f, seq: 1, size: size, lastSync: time.Now()}, nil
+}
+
+func writeMeta(dir string, meta Meta) error {
+	b, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "meta.json.tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "meta.json")); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// ReadMeta loads a session's metadata.
+func (s *Store) ReadMeta(id string) (Meta, error) {
+	m, err := readMetaFile(s.sessionDir(id))
+	if err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// readMetaFile loads and validates the meta.json inside a session directory.
+func readMetaFile(dir string) (Meta, error) {
+	var m Meta
+	b, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, fmt.Errorf("wal: %s: bad meta.json: %w", filepath.Base(dir), err)
+	}
+	if m.Items <= 0 {
+		return m, fmt.Errorf("wal: %s: bad population %d in meta.json", filepath.Base(dir), m.Items)
+	}
+	return m, nil
+}
+
+// Recover replays a session's durable history (latest snapshot, then the
+// journal tail) through h, in exactly the order it was ingested, and returns
+// a journal positioned to append after the last intact frame. A torn tail on
+// the final segment is truncated; corruption anywhere earlier is an error.
+func (s *Store) Recover(id string, h Hooks) (*Journal, error) {
+	dir := s.sessionDir(id)
+	snaps, segs, err := listFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pick the newest intact snapshot; validation happens before any record
+	// is replayed, so a half-compacted snapshot falls back cleanly.
+	var snapSeq uint64
+	var snapBody []byte
+	var snapBytes int64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		body, err := readSnapshotBody(snapPath(dir, snaps[i]))
+		if err != nil {
+			continue
+		}
+		snapSeq, snapBody = snaps[i], body
+		snapBytes = int64(len(body)) + int64(len(snapMagic)) + 4
+		break
+	}
+	if snapBody != nil {
+		if err := decodeRecords(snapBody, h); err != nil {
+			return nil, fmt.Errorf("wal: session %q: snapshot %d: %w", id, snapSeq, err)
+		}
+	}
+
+	// Clean up files the snapshot supersedes (crash between snapshot rename
+	// and deletes) and stray temp files.
+	for _, seq := range snaps {
+		if seq != snapSeq {
+			os.Remove(snapPath(dir, seq))
+		}
+	}
+	live := segs[:0]
+	for _, seq := range segs {
+		if seq <= snapSeq {
+			os.Remove(segPath(dir, seq))
+			continue
+		}
+		live = append(live, seq)
+	}
+	removeTemp(dir)
+
+	j := &Journal{dir: dir, opts: s.opts, snapSeq: snapSeq, snapBytes: snapBytes, lastSync: time.Now()}
+	if len(live) == 0 {
+		f, size, err := createSegment(dir, snapSeq+1)
+		if err != nil {
+			return nil, err
+		}
+		j.f, j.seq, j.size = f, snapSeq+1, size
+		return j, nil
+	}
+
+	// Replay the tail segments in order. Only the final one may be torn.
+	var scratch []byte
+	for i, seq := range live {
+		if want := snapSeq + uint64(i) + 1; seq != want {
+			return nil, fmt.Errorf("wal: session %q: missing segment %d (found %d)", id, want, seq)
+		}
+		last := i == len(live)-1
+		res, sc, err := scanSegment(segPath(dir, seq), h, scratch)
+		scratch = sc
+		if err != nil {
+			if last && errors.Is(err, errBadHeader) {
+				// The process died while creating this segment: no frame ever
+				// reached it. Recreate it empty.
+				os.Remove(segPath(dir, seq))
+				f, size, err := createSegment(dir, seq)
+				if err != nil {
+					return nil, err
+				}
+				j.f, j.seq, j.size = f, seq, size
+				return j, nil
+			}
+			return nil, fmt.Errorf("wal: session %q: %w", id, err)
+		}
+		if !res.clean && !last {
+			return nil, fmt.Errorf("wal: session %q: segment %d is corrupt mid-journal", id, seq)
+		}
+		if last {
+			f, err := os.OpenFile(segPath(dir, seq), os.O_WRONLY, 0)
+			if err != nil {
+				return nil, err
+			}
+			if !res.clean {
+				if err := f.Truncate(res.valid); err != nil {
+					f.Close()
+					return nil, err
+				}
+			}
+			if _, err := f.Seek(res.valid, 0); err != nil {
+				f.Close()
+				return nil, err
+			}
+			j.f, j.seq, j.size = f, seq, res.valid
+		} else {
+			j.sealedBytes += res.valid
+		}
+	}
+	return j, nil
+}
+
+// listFiles enumerates snapshot and segment sequence numbers in dir, sorted.
+func listFiles(dir string) (snaps, segs []uint64, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".bin"):
+			if seq, err := strconv.ParseUint(name[5:len(name)-4], 10, 64); err == nil {
+				snaps = append(snaps, seq)
+			}
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
+			if seq, err := strconv.ParseUint(name[4:len(name)-4], 10, 64); err == nil {
+				segs = append(segs, seq)
+			}
+		}
+	}
+	sort.Slice(snaps, func(i, k int) bool { return snaps[i] < snaps[k] })
+	sort.Slice(segs, func(i, k int) bool { return segs[i] < segs[k] })
+	return snaps, segs, nil
+}
+
+// removeTemp deletes stray temp files from interrupted snapshot writes.
+func removeTemp(dir string) {
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}

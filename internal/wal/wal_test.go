@@ -1,0 +1,419 @@
+package wal
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dqm/internal/votes"
+)
+
+// op mirrors one replayed record for comparison.
+type op struct {
+	Kind   byte
+	Item   int
+	Worker int
+	Dirty  bool
+}
+
+// recHooks collects replayed records.
+func recHooks(out *[]op) Hooks {
+	return Hooks{
+		Vote: func(item, worker int, dirty bool) error {
+			*out = append(*out, op{Kind: opVote, Item: item, Worker: worker, Dirty: dirty})
+			return nil
+		},
+		EndTask: func() { *out = append(*out, op{Kind: opEnd}) },
+		Reset:   func() { *out = append(*out, op{Kind: opReset}) },
+	}
+}
+
+// applyReset collapses a logical op stream the way recovery state would see
+// it: a reset discards everything before it.
+func applyReset(ops []op) []op {
+	out := ops[:0:0]
+	for _, o := range ops {
+		if o.Kind == opReset {
+			out = out[:0]
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+func testStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := OpenStore(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mkVote(item, worker int, dirty bool) votes.Vote {
+	l := votes.Clean
+	if dirty {
+		l = votes.Dirty
+	}
+	return votes.Vote{Item: item, Worker: worker, Label: l}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	s := testStore(t, Options{Fsync: FsyncNever})
+	j, err := s.Create(Meta{ID: "rt", Items: 100, CreatedAt: time.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []op
+	append1 := func(batch []votes.Vote, end bool) {
+		if err := j.Append(batch, end); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range batch {
+			want = append(want, op{Kind: opVote, Item: v.Item, Worker: v.Worker, Dirty: v.Label == votes.Dirty})
+		}
+		if end {
+			want = append(want, op{Kind: opEnd})
+		}
+	}
+	append1([]votes.Vote{mkVote(1, 0, true), mkVote(2, 1, false)}, true)
+	append1([]votes.Vote{mkVote(3, -7, true)}, false) // negative worker ids survive zigzag
+	if err := j.EndTask(); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, op{Kind: opEnd})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []op
+	j2, err := s.Recover("rt", recHooks(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered ops mismatch:\n got %v\nwant %v", got, want)
+	}
+	// The recovered journal keeps appending where the old one stopped.
+	if err := j2.Append([]votes.Vote{mkVote(9, 2, true)}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got3 []op
+	j3, err := s.Recover("rt", recHooks(&got3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	want = append(want, op{Kind: opVote, Item: 9, Worker: 2, Dirty: true}, op{Kind: opEnd})
+	if !reflect.DeepEqual(got3, want) {
+		t.Fatalf("after reopen+append:\n got %v\nwant %v", got3, want)
+	}
+}
+
+func TestClosedJournalRefusesWrites(t *testing.T) {
+	s := testStore(t, Options{})
+	j, err := s.Create(Meta{ID: "closed", Items: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]votes.Vote{mkVote(0, 0, true)}, false); err != ErrClosed {
+		t.Fatalf("append on closed journal: got %v, want ErrClosed", err)
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	s := testStore(t, Options{})
+	j, err := s.Create(Meta{ID: "dup", Items: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, err := s.Create(Meta{ID: "dup", Items: 1}); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+}
+
+func TestDirEncodingWeirdIDs(t *testing.T) {
+	s := testStore(t, Options{})
+	ids := []string{"plain", "with.dots-and_underscores", "sp ace", "sl/ash", "..", "-dash", "ünïcode", "%percent",
+		"#hash", strings.Repeat("long/", 80) + "id"} // > maxHexID bytes → hashed dir name
+	for _, id := range ids {
+		j, err := s.Create(Meta{ID: id, Items: 1})
+		if err != nil {
+			t.Fatalf("create %q: %v", id, err)
+		}
+		j.Close()
+		if !s.Exists(id) {
+			t.Fatalf("Exists(%q) = false after create", id)
+		}
+	}
+	got, err := s.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("IDs() = %v, want %d ids", got, len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range got {
+		seen[id] = true
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Fatalf("id %q missing from IDs() = %v", id, got)
+		}
+	}
+	if err := s.Delete("sl/ash"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists("sl/ash") {
+		t.Fatal("session survives Delete")
+	}
+}
+
+// journalN appends n single-vote tasks, returning the logical op stream.
+func journalN(t *testing.T, j *Journal, n, itemSpace int, seed int64) []op {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var ops []op
+	for i := 0; i < n; i++ {
+		batch := make([]votes.Vote, 1+rng.Intn(4))
+		for k := range batch {
+			batch[k] = mkVote(rng.Intn(itemSpace), rng.Intn(5), rng.Intn(2) == 0)
+			ops = append(ops, op{Kind: opVote, Item: batch[k].Item, Worker: batch[k].Worker, Dirty: batch[k].Label == votes.Dirty})
+		}
+		if err := j.Append(batch, true); err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, op{Kind: opEnd})
+	}
+	return ops
+}
+
+func TestRotationAndCompaction(t *testing.T) {
+	s := testStore(t, Options{Fsync: FsyncNever, SegmentBytes: 256, CompactAfter: 512})
+	j, err := s.Create(Meta{ID: "compact", Items: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := journalN(t, j, 400, 50, 1)
+	if j.snapSeq == 0 {
+		t.Fatal("no compaction happened despite tiny thresholds")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Covered segments are deleted; only the snapshot and the tail remain.
+	snaps, segs, err := listFiles(j.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("want exactly 1 snapshot, got %v", snaps)
+	}
+	for _, seq := range segs {
+		if seq <= snaps[0] {
+			t.Fatalf("segment %d not deleted though snapshot %d covers it", seq, snaps[0])
+		}
+	}
+	var got []op
+	j2, err := s.Recover("compact", recHooks(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered stream differs after compaction: got %d ops, want %d", len(got), len(want))
+	}
+}
+
+func TestResetTruncatesCompactedHistory(t *testing.T) {
+	s := testStore(t, Options{Fsync: FsyncNever, SegmentBytes: 128, CompactAfter: 1})
+	j, err := s.Create(Meta{ID: "reset", Items: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := journalN(t, j, 50, 20, 2)
+	if err := j.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	post := journalN(t, j, 50, 20, 3)
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []op
+	j2, err := s.Recover("reset", recHooks(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	want := applyReset(append(append(append([]op{}, pre...), op{Kind: opReset}), post...))
+	if !reflect.DeepEqual(applyReset(got), want) {
+		t.Fatalf("post-reset recovery mismatch: got %d ops, want %d", len(applyReset(got)), len(want))
+	}
+	// The snapshot must actually have dropped pre-reset history: the total
+	// recovered record count is at most reset marker + post ops + tail.
+	if len(got) > len(post)+1+len(pre)/2 {
+		t.Fatalf("compaction kept pre-reset history: %d recovered ops", len(got))
+	}
+}
+
+func TestTornTailIsTruncatedFrameAligned(t *testing.T) {
+	s := testStore(t, Options{Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	j, err := s.Create(Meta{ID: "torn", Items: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := journalN(t, j, 60, 30, 4)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := segPath(j.Dir(), 1)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame boundaries = prefixes that recovery can yield. Compute them by
+	// scanning with no hooks at every truncation point.
+	var cuts []int64
+	for c := int64(0); c < int64(len(raw)); c += 3 {
+		cuts = append(cuts, c)
+	}
+	cuts = append(cuts, int64(len(raw)))
+	prevVotes := -1
+	for _, cut := range cuts {
+		dir := t.TempDir()
+		s2, err := OpenStore(dir, Options{Fsync: FsyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Mkdir(filepath.Join(dir, "torn"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "torn", "meta.json"), mustMeta(t, "torn", 30), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "torn", filepath.Base(seg)), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got []op
+		j2, err := s2.Recover("torn", recHooks(&got))
+		if err != nil {
+			t.Fatalf("cut=%d: recover: %v", cut, err)
+		}
+		j2.Close()
+		// Recovered ops must be a prefix of the full stream.
+		if len(got) > 0 && !reflect.DeepEqual(got, full[:len(got)]) {
+			t.Fatalf("cut=%d: recovered ops are not a prefix", cut)
+		}
+		// Monotonic: more surviving bytes never recover less.
+		if len(got) < prevVotes {
+			t.Fatalf("cut=%d: recovered %d ops, previously %d", cut, len(got), prevVotes)
+		}
+		prevVotes = len(got)
+	}
+	if prevVotes != len(full) {
+		t.Fatalf("full file recovered %d ops, want %d", prevVotes, len(full))
+	}
+}
+
+func TestCorruptTailFrameIsDropped(t *testing.T) {
+	s := testStore(t, Options{Fsync: FsyncNever})
+	j, err := s.Create(Meta{ID: "corrupt", Items: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := journalN(t, j, 40, 30, 5)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := segPath(j.Dir(), 1)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff // flip a byte inside the last frame
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []op
+	j2, err := s.Recover("corrupt", recHooks(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(got) >= len(full) || !reflect.DeepEqual(got, full[:len(got)]) {
+		t.Fatalf("corrupt tail: recovered %d ops of %d, prefix=%v", len(got), len(full), reflect.DeepEqual(got, full[:len(got)]))
+	}
+}
+
+func TestRecoverHeaderlessFinalSegment(t *testing.T) {
+	s := testStore(t, Options{Fsync: FsyncNever})
+	j, err := s.Create(Meta{ID: "hdr", Items: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := journalN(t, j, 10, 10, 6)
+	j.Close()
+	// Simulate a crash during rotation: a second segment exists but its
+	// header never hit the disk.
+	if err := os.WriteFile(segPath(j.Dir(), 2), []byte{'D', 'Q'}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []op
+	j2, err := s.Recover("hdr", recHooks(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !reflect.DeepEqual(got, full) {
+		t.Fatalf("headerless tail segment: got %d ops, want %d", len(got), len(full))
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncBatch, FsyncNever} {
+		t.Run(p.String(), func(t *testing.T) {
+			s := testStore(t, Options{Fsync: p, BatchInterval: time.Millisecond})
+			j, err := s.Create(Meta{ID: "fs", Items: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := journalN(t, j, 20, 10, 7)
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			var got []op
+			j2, err := s.Recover("fs", recHooks(&got))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j2.Close()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("policy %v: recovery mismatch", p)
+			}
+		})
+	}
+}
+
+func mustMeta(t *testing.T, id string, items int) []byte {
+	t.Helper()
+	return []byte(fmt.Sprintf(`{"version":1,"id":%q,"items":%d,"created_at":"2026-01-01T00:00:00Z"}`, id, items))
+}
