@@ -209,6 +209,17 @@ func newServer(cfg serverConfig) (*server, error) {
 	} else {
 		s.engine = dqm.NewEngine(engineCfg)
 	}
+	// Seed the auto-id counter past any "session-N" recovered from a durable
+	// data dir: the counter itself restarts at zero with the process, and
+	// without the seed every POST /v1/sessions without an id would 409
+	// against the journaled sessions of the previous run.
+	for _, id := range s.engine.SessionIDs() {
+		if rest, ok := strings.CutPrefix(id, "session-"); ok {
+			if n, err := strconv.ParseInt(rest, 10, 64); err == nil && n > s.sessionSeq.Load() {
+				s.sessionSeq.Store(n)
+			}
+		}
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/estimators", s.handleEstimators)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
@@ -328,13 +339,25 @@ func (s *server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := req.ID
-	if id == "" {
-		id = fmt.Sprintf("session-%d", s.sessionSeq.Add(1))
-	}
-	sess, err := s.engine.CreateSession(id, req.Items, cfg)
-	if err != nil {
+	auto := id == ""
+	var sess *dqm.Session
+	// An auto id can still collide (a client created "session-N" by hand, or
+	// another server shares the data dir); retry with fresh ids a few times
+	// before giving up instead of surfacing a 409 the client cannot act on.
+	for attempt := 0; ; attempt++ {
+		if auto {
+			id = fmt.Sprintf("session-%d", s.sessionSeq.Add(1))
+		}
+		sess, err = s.engine.CreateSession(id, req.Items, cfg)
+		if err == nil {
+			break
+		}
+		exists := strings.Contains(err.Error(), "already exists")
+		if auto && exists && attempt < 16 {
+			continue
+		}
 		status := http.StatusBadRequest
-		if strings.Contains(err.Error(), "already exists") {
+		if exists {
 			status = http.StatusConflict
 		}
 		writeError(w, status, "%v", err)

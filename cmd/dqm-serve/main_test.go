@@ -424,3 +424,39 @@ func TestJournalFaultMapsTo503(t *testing.T) {
 		t.Fatalf("validation error status = %d, want 400", got)
 	}
 }
+
+// TestAutoSessionIDsSurviveRestart: the auto-id counter is in-memory and
+// restarts at zero; on a durable server it must be seeded past the journaled
+// "session-N" ids recovered from the previous run, or every POST without an
+// id would 409 against them. A manually taken "session-N" id must also be
+// skipped, not surfaced as a conflict the client cannot act on.
+func TestAutoSessionIDsSurviveRestart(t *testing.T) {
+	cfg := serverConfig{DataDir: t.TempDir(), Fsync: dqm.FsyncNever}
+	srv := mustServer(t, cfg)
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		out := do(t, srv, "POST", "/v1/sessions", map[string]any{"items": 5}, http.StatusCreated)
+		seen[out["id"].(string)] = true
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := mustServer(t, cfg)
+	defer srv2.Close()
+	for i := 0; i < 3; i++ {
+		out := do(t, srv2, "POST", "/v1/sessions", map[string]any{"items": 5}, http.StatusCreated)
+		id := out["id"].(string)
+		if seen[id] {
+			t.Fatalf("auto id %q reused after restart", id)
+		}
+		seen[id] = true
+	}
+	// Occupy the next auto id by hand; auto creation must skip past it.
+	next := fmt.Sprintf("session-%d", srv2.sessionSeq.Load()+1)
+	do(t, srv2, "POST", "/v1/sessions", map[string]any{"id": next, "items": 5}, http.StatusCreated)
+	out := do(t, srv2, "POST", "/v1/sessions", map[string]any{"items": 5}, http.StatusCreated)
+	if id := out["id"].(string); id == next || seen[id] {
+		t.Fatalf("auto id %q collided with taken ids", id)
+	}
+}

@@ -274,8 +274,9 @@ type EngineConfig struct {
 	// re-fetch the session via Session(id) instead.
 	MaxSessions int
 	// OnEvict, when set, is called with the id of every session removed by
-	// the MaxSessions policy (not by DeleteSession), after removal — use it
-	// to release any per-session state held outside the engine.
+	// the MaxSessions policy (not by DeleteSession), after removal and with
+	// no engine lock held (the callback may call back into the engine) — use
+	// it to release any per-session state held outside the engine.
 	OnEvict func(sessionID string)
 	// DataDir enables durability: every session write-ahead-journals its
 	// votes under this directory and is recovered — bit-identical — when the

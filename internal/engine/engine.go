@@ -46,8 +46,9 @@ type Config struct {
 	MaxSessions int
 	// OnEvict, when set, is called with the id of every session removed by
 	// the MaxSessions policy (not by explicit Delete), after removal and
-	// outside any engine lock — layers holding per-session state (e.g.
-	// server-side snapshots) use it to release theirs.
+	// after every engine lock (including the durable engine's load lock) has
+	// been released — so the callback may re-enter the engine. Layers holding
+	// per-session state (e.g. server-side snapshots) use it to release theirs.
 	OnEvict func(id string)
 	// DataDir enables durability: each session journals to a directory under
 	// it. Engines with a DataDir must be built with Open (which recovers
@@ -278,6 +279,10 @@ func (e *Engine) Create(id string, n int, cfg SessionConfig) (*Session, error) {
 	if _, dup := e.Get(id); dup {
 		return nil, fmt.Errorf("engine: session %q already exists", id)
 	}
+	// OnEvict must fire after loadMu is released (deferred LIFO: this runs
+	// after the unlock below), so the callback may re-enter the engine.
+	var evicted []string
+	defer func() { e.notifyEvicted(evicted) }()
 	if e.store != nil {
 		// Hold loadMu across directory creation and table insertion so a
 		// concurrent Load cannot observe the files of a session that is not
@@ -290,9 +295,11 @@ func (e *Engine) Create(id string, n int, cfg SessionConfig) (*Session, error) {
 	}
 	if e.max > 0 {
 		for int(e.count.Load()) >= e.max {
-			if !e.evictLRU(id) {
+			victim, ok := e.evictLRU(id)
+			if !ok {
 				break
 			}
+			evicted = append(evicted, victim)
 		}
 	}
 	// Build the suite outside the shard lock: construction is O(N) and must
@@ -315,7 +322,7 @@ func (e *Engine) Create(id string, n int, cfg SessionConfig) (*Session, error) {
 		sh.mu.Unlock()
 		if s.journal != nil {
 			s.closeJournal()
-			_ = e.store.Delete(id)
+			_, _ = e.store.Delete(id)
 		}
 		return nil, fmt.Errorf("engine: session %q already exists", id)
 	}
@@ -330,8 +337,9 @@ func (e *Engine) Create(id string, n int, cfg SessionConfig) (*Session, error) {
 // journal is flushed and closed but its files stay for a later Load; every
 // durable caller (Create, Load) holds loadMu, so a concurrent Load cannot
 // recover the victim's files while its journal still has buffered frames.
-// It reports whether anything was evicted.
-func (e *Engine) evictLRU(keep string) bool {
+// It returns the evicted id; notifying OnEvict is the caller's job, after
+// it has released loadMu — the callback may re-enter the engine.
+func (e *Engine) evictLRU(keep string) (string, bool) {
 	var (
 		victim     string
 		victimLast int64
@@ -350,17 +358,26 @@ func (e *Engine) evictLRU(keep string) bool {
 		sh.mu.RUnlock()
 	}
 	if victim == "" {
-		return false
+		return "", false
 	}
 	if s, ok := e.detach(victim); ok {
 		s.closeJournal()
 		e.evictions.Add(1)
-		if e.onEvict != nil {
-			e.onEvict(victim)
-		}
-		return true
+		return victim, true
 	}
-	return false
+	return "", false
+}
+
+// notifyEvicted fires OnEvict for each victim. Callers defer it before
+// taking loadMu so the callbacks run after every engine lock is released
+// and may safely re-enter the engine.
+func (e *Engine) notifyEvicted(victims []string) {
+	if e.onEvict == nil {
+		return
+	}
+	for _, id := range victims {
+		e.onEvict(id)
+	}
 }
 
 // detach removes a session from the table without touching its files.
@@ -388,6 +405,10 @@ func (e *Engine) Load(id string) (*Session, error) {
 	if e.store == nil {
 		return nil, fmt.Errorf("engine: not durable; session %q cannot be loaded", id)
 	}
+	// Deferred before the lock so eviction callbacks run after the unlock
+	// and may re-enter the engine.
+	var evicted []string
+	defer func() { e.notifyEvicted(evicted) }()
 	e.loadMu.Lock()
 	defer e.loadMu.Unlock()
 	if s, ok := e.Get(id); ok {
@@ -398,9 +419,11 @@ func (e *Engine) Load(id string) (*Session, error) {
 	}
 	if e.max > 0 {
 		for int(e.count.Load()) >= e.max {
-			if !e.evictLRU(id) {
+			victim, ok := e.evictLRU(id)
+			if !ok {
 				break
 			}
+			evicted = append(evicted, victim)
 		}
 	}
 	s, err := e.recoverSession(id)
@@ -506,11 +529,10 @@ func (e *Engine) Delete(id string) bool {
 		s.closeJournal()
 	}
 	if e.store != nil {
-		onDisk := e.store.Exists(id)
-		if onDisk {
-			_ = e.store.Delete(id)
-		}
-		return ok || onDisk
+		// Unconditional: a directory without meta.json (aborted create) must
+		// still be deletable even though Exists/Load would not see it.
+		removed, _ := e.store.Delete(id)
+		return ok || removed
 	}
 	return ok
 }

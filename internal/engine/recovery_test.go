@@ -626,3 +626,107 @@ func TestConcurrentLoadCreateDeleteNoDoubleJournal(t *testing.T) {
 		t.Fatalf("post-churn recovery failed: %v", err)
 	}
 }
+
+// TestOpenSkipsAbortedCreateDir: a session directory without meta.json
+// (crash between Mkdir and the meta write) must not fail recovery for the
+// whole data dir, and its id must be reusable.
+func TestOpenSkipsAbortedCreateDir(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Create("kept", 10, sessionCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]votes.Vote{{Item: 1, Worker: 0, Label: votes.Dirty}}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn create.
+	if err := os.Mkdir(filepath.Join(dir, "torn"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(durableConfig(dir))
+	if err != nil {
+		t.Fatalf("Open with orphan session dir: %v", err)
+	}
+	defer e2.Close()
+	if got := e2.IDs(); len(got) != 1 || got[0] != "kept" {
+		t.Fatalf("IDs() = %v, want [kept]", got)
+	}
+	if _, ok := e2.Get("kept"); !ok {
+		t.Fatal("journaled session not recovered")
+	}
+	// The orphan's id is free again.
+	if _, err := e2.Create("torn", 5, sessionCfg()); err != nil {
+		t.Fatalf("create over swept orphan dir: %v", err)
+	}
+}
+
+// TestDeleteRemovesAbortedCreateDir: Delete must remove a meta-less session
+// directory even though Exists/Load do not see it — otherwise the id is stuck
+// (unlistable, unloadable, yet blocking Create) until manual cleanup.
+func TestDeleteRemovesAbortedCreateDir(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := os.Mkdir(filepath.Join(dir, "torn"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Delete("torn") {
+		t.Fatal("Delete of orphan dir reported false")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "torn")); !os.IsNotExist(err) {
+		t.Fatal("orphan dir survived Delete")
+	}
+}
+
+// TestOnEvictMayReenterEngine: OnEvict fires with no engine lock held, so a
+// callback that calls back into the engine (here: Delete, which takes the
+// durable engine's loadMu) must not deadlock. Before the fix, durable Create
+// and Load invoked the callback while holding loadMu.
+func TestOnEvictMayReenterEngine(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	cfg.MaxSessions = 1
+	var e *Engine
+	var evicted []string
+	cfg.OnEvict = func(id string) {
+		evicted = append(evicted, id)
+		// Harmless, but takes loadMu on a durable engine — deadlocked when
+		// the callback fired under it.
+		e.Delete(id + "-ghost")
+	}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Create("a", 5, sessionCfg()); err != nil {
+		t.Fatal(err)
+	}
+	// Create path: evicts "a" under loadMu; the callback runs after release.
+	if _, err := e.Create("b", 5, sessionCfg()); err != nil {
+		t.Fatal(err)
+	}
+	// Load path: reviving "a" evicts "b" under loadMu.
+	if _, err := e.Load("a"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b"}
+	if !reflect.DeepEqual(evicted, want) {
+		t.Fatalf("evicted = %v, want %v", evicted, want)
+	}
+	// Eviction kept both sessions' files; only memory was released.
+	if !e.store.Exists("a") || !e.store.Exists("b") {
+		t.Fatal("eviction removed journal files")
+	}
+}

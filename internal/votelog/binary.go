@@ -20,9 +20,10 @@ import (
 //
 // A task record is emitted before the first vote and at every task-id
 // change; votes inherit the current task id. The stream carries exactly the
-// Entry fields, so CSV ⇄ JSONL ⇄ binary conversions are lossless; task and
-// worker ids are bounded to int32 for portability, and the writer rejects
-// anything larger instead of emitting a file its own reader would refuse.
+// Entry fields, so CSV ⇄ JSONL ⇄ binary conversions are lossless; task,
+// item and worker ids are bounded to int32 for portability, and the writer
+// rejects anything larger instead of emitting a file its own reader would
+// refuse.
 var binaryMagic = []byte{'D', 'Q', 'M', 'V', 1}
 
 const (
@@ -47,9 +48,13 @@ func WriteBinary(w io.Writer, entries []Entry) error {
 		if e.Item < 0 {
 			return fmt.Errorf("votelog: negative item id %d", e.Item)
 		}
-		// The reader bounds task and worker ids to int32 (so logs stay
-		// portable to 32-bit platforms); enforce the same bound here rather
-		// than write a file our own reader refuses.
+		// The reader bounds task, item and worker ids to int32 (so logs stay
+		// portable to 32-bit platforms); enforce the same bounds here rather
+		// than write a file our own reader refuses — or, for items beyond
+		// MaxInt64/2, silently corrupt the record when item<<1 overflows.
+		if int64(e.Item) > math.MaxInt32 {
+			return fmt.Errorf("votelog: item id %d outside the binary format's int32 range", e.Item)
+		}
 		if e.Task < math.MinInt32 || e.Task > math.MaxInt32 {
 			return fmt.Errorf("votelog: task id %d outside the binary format's int32 range", e.Task)
 		}
@@ -105,7 +110,7 @@ func ReadBinary(r io.Reader) ([]Entry, error) {
 			task = int(t)
 		case binOpVote:
 			key, err := binary.ReadUvarint(br)
-			if err != nil || key>>1 > math.MaxInt {
+			if err != nil || key>>1 > math.MaxInt32 {
 				return nil, fmt.Errorf("votelog: record %d: bad item", len(out))
 			}
 			wv, err := binary.ReadUvarint(br)

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"reflect"
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -148,5 +149,22 @@ func TestBinaryWriterRejectsOutOfRangeIDs(t *testing.T) {
 		if err := WriteBinary(io.Discard, entries); err == nil {
 			t.Fatalf("WriteBinary accepted out-of-range ids %+v", entries[0])
 		}
+	}
+}
+
+// TestWriteBinaryRejectsOutOfRangeItem: items beyond int32 must fail at
+// write time — beyond MaxInt64/2 the item<<1 key silently overflows, and
+// anything above MaxInt32 produces a file a 32-bit reader refuses.
+func TestWriteBinaryRejectsOutOfRangeItem(t *testing.T) {
+	if math.MaxInt == math.MaxInt32 {
+		t.Skip("items cannot exceed int32 on a 32-bit platform")
+	}
+	big := int(int64(math.MaxInt32) + 1)
+	err := WriteBinary(io.Discard, []Entry{{Task: 1, Item: big, Worker: 1}})
+	if err == nil || !strings.Contains(err.Error(), "item id") {
+		t.Fatalf("WriteBinary(item=%d) err = %v, want item-range error", big, err)
+	}
+	if err := WriteBinary(io.Discard, []Entry{{Task: 1, Item: math.MaxInt32, Worker: 1}}); err != nil {
+		t.Fatalf("WriteBinary(item=MaxInt32) err = %v, want nil", err)
 	}
 }

@@ -24,12 +24,36 @@ type Store struct {
 	opts Options
 }
 
-// OpenStore opens (creating if needed) a data directory.
+// OpenStore opens (creating if needed) a data directory. Session directories
+// left behind by a crash mid-Create (a directory without meta.json — the meta
+// is the first file a create writes) hold no durable history and are swept
+// away, so a torn create can never wedge recovery or block the id forever.
 func OpenStore(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: open store: %w", err)
 	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open store: %w", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() && abortedCreate(filepath.Join(dir, e.Name())) {
+			os.RemoveAll(filepath.Join(dir, e.Name()))
+		}
+	}
 	return &Store{dir: dir, opts: opts.withDefaults()}, nil
+}
+
+// abortedCreate reports whether a session directory was abandoned by a crash
+// between Mkdir and writeMeta: it exists but has no meta.json. Such a
+// directory predates the first durable byte of its session, so removing it
+// loses nothing.
+func abortedCreate(dir string) bool {
+	if _, err := os.Stat(dir); err != nil {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(dir, "meta.json"))
+	return os.IsNotExist(err)
 }
 
 // Dir returns the data directory.
@@ -128,6 +152,15 @@ func (s *Store) IDs() ([]string, error) {
 			}
 			continue
 		}
+		// A dir without meta.json is an aborted create (crash between Mkdir
+		// and writeMeta, or a Create in flight right now): it holds no
+		// session and must not be listed — a listed-but-unrecoverable id
+		// would fail engine recovery for the whole store. Only IsNotExist
+		// qualifies; any other stat error (permissions, I/O) still lists the
+		// id so recovery fails loudly instead of hiding durable data.
+		if _, err := os.Stat(filepath.Join(s.dir, name, "meta.json")); os.IsNotExist(err) {
+			continue
+		}
 		if id, ok := idFromDir(name); ok {
 			out = append(out, id)
 		}
@@ -136,12 +169,19 @@ func (s *Store) IDs() ([]string, error) {
 	return out, nil
 }
 
-// Delete removes a session's directory and everything in it.
-func (s *Store) Delete(id string) error {
-	if err := os.RemoveAll(s.sessionDir(id)); err != nil {
-		return err
+// Delete removes a session's directory and everything in it, reporting
+// whether a directory existed. It is deliberately not gated on Exists: a
+// directory without meta.json (aborted create) must still be removable, or
+// its id would be stuck — unlistable yet blocking Create forever.
+func (s *Store) Delete(id string) (bool, error) {
+	dir := s.sessionDir(id)
+	if _, err := os.Stat(dir); err != nil {
+		return false, nil
 	}
-	return syncDir(s.dir)
+	if err := os.RemoveAll(dir); err != nil {
+		return true, err
+	}
+	return true, syncDir(s.dir)
 }
 
 // Create makes a fresh journal directory for a session. It fails if one
@@ -150,7 +190,14 @@ func (s *Store) Delete(id string) error {
 // overwritten).
 func (s *Store) Create(meta Meta) (*Journal, error) {
 	dir := s.sessionDir(meta.ID)
-	if err := os.Mkdir(dir, 0o755); err != nil {
+	err := os.Mkdir(dir, 0o755)
+	if os.IsExist(err) && abortedCreate(dir) {
+		// The dir is debris from a create that crashed before writing
+		// meta.json — no durable history, so reclaim the id.
+		os.RemoveAll(dir)
+		err = os.Mkdir(dir, 0o755)
+	}
+	if err != nil {
 		if os.IsExist(err) {
 			return nil, fmt.Errorf("wal: session %q already exists on disk at %s", meta.ID, dir)
 		}
@@ -170,13 +217,29 @@ func (s *Store) Create(meta Meta) (*Journal, error) {
 	return &Journal{dir: dir, opts: s.opts, f: f, seq: 1, size: size, lastSync: time.Now()}, nil
 }
 
+// writeMeta atomically persists meta.json: temp file, fsync, rename, dir
+// fsync — the same discipline as writeSnapshot. The content fsync before the
+// rename matters: without it a power loss can leave a visible-but-empty
+// meta.json, and one unparsable meta fails recovery for the whole store.
 func writeMeta(dir string, meta Meta) error {
 	b, err := json.Marshal(meta)
 	if err != nil {
 		return err
 	}
 	tmp := filepath.Join(dir, "meta.json.tmp")
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(b)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, "meta.json")); err != nil {

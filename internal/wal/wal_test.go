@@ -176,11 +176,18 @@ func TestDirEncodingWeirdIDs(t *testing.T) {
 			t.Fatalf("id %q missing from IDs() = %v", id, got)
 		}
 	}
-	if err := s.Delete("sl/ash"); err != nil {
+	removed, err := s.Delete("sl/ash")
+	if err != nil {
 		t.Fatal(err)
+	}
+	if !removed {
+		t.Fatal("Delete(sl/ash) reported nothing removed")
 	}
 	if s.Exists("sl/ash") {
 		t.Fatal("session survives Delete")
+	}
+	if removed, err := s.Delete("never-existed"); err != nil || removed {
+		t.Fatalf("Delete(never-existed) = (%v, %v), want (false, nil)", removed, err)
 	}
 }
 
@@ -416,4 +423,61 @@ func TestFsyncPolicies(t *testing.T) {
 func mustMeta(t *testing.T, id string, items int) []byte {
 	t.Helper()
 	return []byte(fmt.Sprintf(`{"version":1,"id":%q,"items":%d,"created_at":"2026-01-01T00:00:00Z"}`, id, items))
+}
+
+// TestAbortedCreateDirIsReclaimed: a crash between Mkdir and writeMeta leaves
+// a session directory without meta.json. Such debris must not be listed, must
+// not block a fresh Create of the same id, must be removable via Delete, and
+// OpenStore must sweep it on the next boot.
+func TestAbortedCreateDirIsReclaimed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "torn"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if ids, err := s.IDs(); err != nil || len(ids) != 0 {
+		t.Fatalf("IDs() = (%v, %v), want empty: orphan dir listed", ids, err)
+	}
+	if s.Exists("torn") {
+		t.Fatal("Exists reports an orphan dir as a session")
+	}
+	// Create reclaims the id instead of failing with "already exists".
+	j, err := s.Create(Meta{ID: "torn", Items: 1})
+	if err != nil {
+		t.Fatalf("create over aborted dir: %v", err)
+	}
+	j.Close()
+
+	// A second orphan (with a stray temp file, as an interrupted writeMeta
+	// leaves behind) is swept by the next OpenStore.
+	if err := os.Mkdir(filepath.Join(dir, "torn2"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "torn2", "meta.json.tmp"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "torn2")); !os.IsNotExist(err) {
+		t.Fatalf("orphan dir survived OpenStore (stat err %v)", err)
+	}
+	if ids, err := s2.IDs(); err != nil || len(ids) != 1 || ids[0] != "torn" {
+		t.Fatalf("IDs() after sweep = (%v, %v), want [torn]", ids, err)
+	}
+
+	// Delete removes an orphan dir even though Exists is false for it.
+	if err := os.Mkdir(filepath.Join(dir, "torn3"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := s2.Delete("torn3"); err != nil || !removed {
+		t.Fatalf("Delete(orphan) = (%v, %v), want (true, nil)", removed, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "torn3")); !os.IsNotExist(err) {
+		t.Fatal("orphan dir survived Delete")
+	}
 }
