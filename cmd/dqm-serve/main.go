@@ -23,13 +23,24 @@
 //	GET    /v1/estimators                  registered estimator names
 //	POST   /v1/sessions                    create a session
 //	GET    /v1/sessions                    list session ids
-//	GET    /v1/sessions/{id}               session info
+//	GET    /v1/sessions/{id}               session info (incl. mutation version)
 //	DELETE /v1/sessions/{id}               delete a session (and its snapshots)
 //	POST   /v1/sessions/{id}/votes         append a vote batch / task entries
-//	GET    /v1/sessions/{id}/estimates     estimates (?ci=0.95&replicates=200)
+//	GET    /v1/sessions/{id}/estimates     estimates (?ci=0.95&replicates=200,
+//	                                       ?window=current|last|decayed)
+//	GET    /v1/sessions/{id}/watch         SSE stream of estimate updates
+//	                                       (?cursor=, ?min_interval=, ?window=)
+//	POST   /v1/estimates:batch             estimates for many sessions at once
 //	POST   /v1/sessions/{id}/snapshots     snapshot the estimator state
 //	GET    /v1/sessions/{id}/snapshots     list snapshots
 //	POST   /v1/sessions/{id}/restore       restore a snapshot
+//
+// Estimate reads ride a per-session version-guarded cache: polling an
+// unchanged session is lock-free and O(1), and the watch endpoint pushes a
+// new payload only when the session's mutation version advances past the
+// subscriber's cursor (coalesced to -watch-min-interval). Sessions created
+// with "config":{"window":{"size":N,...}} additionally serve windowed
+// estimates — the quality of the last N tasks — via ?window=.
 //
 // A vote batch is either {"votes": [{"item","worker","dirty"}...],
 // "end_task": true} for one task, or {"entries": [{"task","item","worker",
@@ -47,7 +58,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
@@ -69,6 +79,8 @@ func main() {
 		shards      = fs.Int("shards", 32, "session-table shards (rounded up to a power of two)")
 		maxSessions = fs.Int("max-sessions", 0, "max live sessions, LRU-evicted beyond (0 = unlimited)")
 		maxBatch    = fs.Int("max-batch", 100000, "max votes per ingest request")
+		maxBody     = fs.Int64("max-body-bytes", 32<<20, "max JSON request body size in bytes")
+		watchMinIv  = fs.Duration("watch-min-interval", 250*time.Millisecond, "min interval between watch (SSE) pushes per subscriber")
 		dataDir     = fs.String("data-dir", "", "durable data directory (empty = in-memory only)")
 		fsyncMode   = fs.String("fsync", "batch", "journal fsync policy: batch, always or never")
 		fsyncEvery  = fs.Duration("fsync-interval", 100*time.Millisecond, "max fsync staleness under -fsync batch")
@@ -81,12 +93,14 @@ func main() {
 		log.Fatal(err)
 	}
 	srv, err := newServer(serverConfig{
-		Shards:        *shards,
-		MaxSessions:   *maxSessions,
-		MaxBatch:      *maxBatch,
-		DataDir:       *dataDir,
-		Fsync:         fsync,
-		FsyncInterval: *fsyncEvery,
+		Shards:           *shards,
+		MaxSessions:      *maxSessions,
+		MaxBatch:         *maxBatch,
+		MaxBodyBytes:     *maxBody,
+		WatchMinInterval: *watchMinIv,
+		DataDir:          *dataDir,
+		Fsync:            fsync,
+		FsyncInterval:    *fsyncEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -96,9 +110,13 @@ func main() {
 			*dataDir, *fsyncMode, srv.engine.NumSessions())
 	}
 	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv,
+		Addr:    *addr,
+		Handler: srv,
+		// Slowloris/idle-connection bounds. No WriteTimeout: the watch
+		// endpoint streams SSE indefinitely by design; everything else
+		// responds promptly or is bounded by the body limit.
 		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests up to the
@@ -152,6 +170,12 @@ type serverConfig struct {
 	// MaxSnapshots bounds retained snapshots per session (oldest dropped);
 	// 0 selects 16.
 	MaxSnapshots int
+	// MaxBodyBytes bounds JSON request bodies; 0 selects 32 MiB.
+	MaxBodyBytes int64
+	// WatchMinInterval is the per-subscriber floor between SSE pushes
+	// (clients may ask for a LONGER interval via ?min_interval=); 0 selects
+	// 250ms.
+	WatchMinInterval time.Duration
 	// DataDir enables the durable engine (empty = in-memory only).
 	DataDir string
 	// Fsync and FsyncInterval tune the journal flush policy under DataDir.
@@ -185,6 +209,12 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	if cfg.MaxSnapshots <= 0 {
 		cfg.MaxSnapshots = 16
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.WatchMinInterval <= 0 {
+		cfg.WatchMinInterval = 250 * time.Millisecond
 	}
 	s := &server{
 		mux:   http.NewServeMux(),
@@ -228,6 +258,8 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/votes", s.handleAppendVotes)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/estimates", s.handleEstimates)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/watch", s.handleWatch)
+	s.mux.HandleFunc("POST /v1/estimates:batch", s.handleBatchEstimates)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/snapshots", s.handleCreateSnapshot)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/snapshots", s.handleListSnapshots)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/restore", s.handleRestore)
@@ -260,11 +292,20 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// decodeBody strictly decodes one JSON object into v.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+// decodeBody strictly decodes one JSON object into v. The body is wrapped in
+// http.MaxBytesReader (not a silent LimitReader): an oversized body gets a
+// clean 413 and the server closes the connection instead of buffering an
+// unbounded request into memory.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
@@ -297,12 +338,20 @@ func (s *server) handleEstimators(w http.ResponseWriter, _ *http.Request) {
 
 // sessionConfigJSON is the wire form of dqm.Config.
 type sessionConfigJSON struct {
-	VChaoShift      int      `json:"v_chao_shift,omitempty"`
-	TiePolicy       string   `json:"tie_policy,omitempty"` // "tie-flip" | "strict-majority"
-	TrendWindow     int      `json:"trend_window,omitempty"`
-	CapToPopulation bool     `json:"cap_to_population,omitempty"`
-	TrackConfidence bool     `json:"track_confidence,omitempty"`
-	Estimators      []string `json:"estimators,omitempty"`
+	VChaoShift      int               `json:"v_chao_shift,omitempty"`
+	TiePolicy       string            `json:"tie_policy,omitempty"` // "tie-flip" | "strict-majority"
+	TrendWindow     int               `json:"trend_window,omitempty"`
+	CapToPopulation bool              `json:"cap_to_population,omitempty"`
+	TrackConfidence bool              `json:"track_confidence,omitempty"`
+	Estimators      []string          `json:"estimators,omitempty"`
+	Window          *windowConfigJSON `json:"window,omitempty"`
+}
+
+// windowConfigJSON is the wire form of dqm.WindowConfig.
+type windowConfigJSON struct {
+	Size       int     `json:"size"`
+	Stride     int     `json:"stride,omitempty"`
+	DecayAlpha float64 `json:"decay_alpha,omitempty"`
 }
 
 func (c sessionConfigJSON) toConfig() (dqm.Config, error) {
@@ -321,6 +370,13 @@ func (c sessionConfigJSON) toConfig() (dqm.Config, error) {
 	cfg.CapToPopulation = c.CapToPopulation
 	cfg.TrackConfidence = c.TrackConfidence
 	cfg.Estimators = c.Estimators
+	if c.Window != nil {
+		w := dqm.WindowConfig{Size: c.Window.Size, Stride: c.Window.Stride, DecayAlpha: c.Window.DecayAlpha}
+		if err := w.Validate(); err != nil {
+			return cfg, err
+		}
+		cfg.Window = &w
+	}
 	return cfg, nil
 }
 
@@ -330,7 +386,7 @@ func (s *server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		Items  int               `json:"items"`
 		Config sessionConfigJSON `json:"config,omitempty"`
 	}
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	cfg, err := req.Config.toConfig()
@@ -379,16 +435,19 @@ func (s *server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	info := map[string]any{
 		"id":         sess.ID(),
 		"items":      sess.NumItems(),
 		"workers":    sess.NumWorkers(),
 		"votes":      sess.TotalVotes(),
 		"tasks":      sess.Tasks(),
 		"estimators": sess.EstimatorNames(),
+		"version":    sess.Version(),
+		"windowed":   sess.Windowed(),
 		"created_at": sess.CreatedAt().UTC().Format(time.RFC3339Nano),
 		"last_used":  sess.LastUsed().UTC().Format(time.RFC3339Nano),
-	})
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
@@ -426,7 +485,7 @@ func (s *server) handleAppendVotes(w http.ResponseWriter, r *http.Request) {
 		EndTask bool        `json:"end_task,omitempty"`
 		Entries []entryJSON `json:"entries,omitempty"`
 	}
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Votes) > 0 && len(req.Entries) > 0 {
@@ -529,7 +588,20 @@ type estimatesJSON struct {
 	Extra     map[string]float64 `json:"extra,omitempty"`
 	Tasks     int64              `json:"tasks"`
 	Votes     int64              `json:"votes"`
-	SwitchCI  *ciJSON            `json:"switch_ci,omitempty"`
+	// Version is the session's mutation counter at (or just before) the
+	// read; pass it back as the watch cursor to resume change detection.
+	Version  uint64      `json:"version"`
+	Window   *windowJSON `json:"window,omitempty"`
+	SwitchCI *ciJSON     `json:"switch_ci,omitempty"`
+}
+
+// windowJSON describes which task span a windowed estimate covers.
+type windowJSON struct {
+	Kind      string `json:"kind"`
+	StartTask int64  `json:"start_task"`
+	EndTask   int64  `json:"end_task"`
+	Tasks     int64  `json:"tasks"`
+	Complete  bool   `json:"complete"`
 }
 
 type switchJSON struct {
@@ -546,8 +618,7 @@ type ciJSON struct {
 	Level float64 `json:"level"`
 }
 
-func estimatesToJSON(sess *dqm.Session) estimatesJSON {
-	e := sess.Estimates()
+func estimatesBody(e dqm.Estimates) estimatesJSON {
 	trend := "flat"
 	if e.Switch.TrendUp {
 		trend = "up"
@@ -568,14 +639,63 @@ func estimatesToJSON(sess *dqm.Session) estimatesJSON {
 		},
 		Remaining: e.Remaining(),
 		Extra:     e.Extra,
-		Tasks:     sess.Tasks(),
-		Votes:     sess.TotalVotes(),
 	}
+}
+
+func estimatesToJSON(sess *dqm.Session) estimatesJSON {
+	// Version is read BEFORE the estimates: if the session mutates between
+	// the two loads the payload may be newer than the version, so a watcher
+	// resuming from it re-delivers rather than skips (at-least-once).
+	v := sess.Version()
+	out := estimatesBody(sess.Estimates())
+	out.Tasks = sess.Tasks()
+	out.Votes = sess.TotalVotes()
+	out.Version = v
+	return out
+}
+
+// windowedToJSON evaluates one windowed view of the session.
+func windowedToJSON(sess *dqm.Session, kind dqm.WindowKind) (estimatesJSON, error) {
+	v := sess.Version()
+	we, err := sess.WindowEstimates(kind)
+	if err != nil {
+		return estimatesJSON{}, err
+	}
+	out := estimatesBody(we.Estimates)
+	out.Tasks = sess.Tasks()
+	out.Votes = sess.TotalVotes()
+	out.Version = v
+	out.Window = &windowJSON{
+		Kind:      we.Kind.String(),
+		StartTask: we.Start,
+		EndTask:   we.End,
+		Tasks:     we.Tasks,
+		Complete:  we.Complete,
+	}
+	return out, nil
 }
 
 func (s *server) handleEstimates(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.session(w, r)
 	if !ok {
+		return
+	}
+	if wq := r.URL.Query().Get("window"); wq != "" {
+		if r.URL.Query().Get("ci") != "" {
+			writeError(w, http.StatusBadRequest, "ci is not supported on windowed estimates")
+			return
+		}
+		kind, err := dqm.ParseWindowKind(wq)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		out, err := windowedToJSON(sess, kind)
+		if err != nil {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
 		return
 	}
 	out := estimatesToJSON(sess)
@@ -607,6 +727,232 @@ func (s *server) handleEstimates(w http.ResponseWriter, r *http.Request) {
 		out.SwitchCI = &ciJSON{Lo: ci.Lo, Hi: ci.Hi, Level: ci.Level}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleWatch streams estimate updates over Server-Sent Events: whenever the
+// session's mutation version advances past the subscriber's cursor, one
+// `estimates` event carrying the usual estimates JSON (id: the new version)
+// is pushed. Change detection is a lock-free atomic load per tick, so even
+// thousands of idle watchers cost the session nothing; pushes are coalesced
+// to at most one per min-interval per subscriber. Clients resume with
+// ?cursor=<last seen version> (or the standard Last-Event-ID header) and may
+// RAISE the coalescing interval with ?min_interval= (the server flag is the
+// floor). ?window= streams a windowed view instead of the all-time estimate.
+func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	q := r.URL.Query()
+	var kind dqm.WindowKind
+	windowed := false
+	if wq := q.Get("window"); wq != "" {
+		k, err := dqm.ParseWindowKind(wq)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		kind, windowed = k, true
+		// Reject structurally impossible streams before committing to SSE: a
+		// session without windows (or without a decay aggregate) can never
+		// produce an event, and a silent 200 that only heartbeats would be
+		// indistinguishable from a healthy idle stream. "No completed window
+		// yet" is the one genuinely transient case and stays silent below.
+		wcfg, ok := sess.WindowConfig()
+		if !ok {
+			writeError(w, http.StatusConflict, "session %q has no window configuration", sess.ID())
+			return
+		}
+		if kind == dqm.WindowDecayed && wcfg.DecayAlpha == 0 {
+			writeError(w, http.StatusConflict, "session %q has no decayed aggregate (decay_alpha is 0)", sess.ID())
+			return
+		}
+	}
+	interval := s.cfg.WatchMinInterval
+	if iq := q.Get("min_interval"); iq != "" {
+		d, err := time.ParseDuration(iq)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad min_interval %q", iq)
+			return
+		}
+		if d > interval {
+			interval = d
+		}
+	}
+	var cursor uint64
+	cursorQ := q.Get("cursor")
+	if cursorQ == "" {
+		cursorQ = r.Header.Get("Last-Event-ID")
+	}
+	if cursorQ != "" {
+		c, err := strconv.ParseUint(cursorQ, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad cursor %q", cursorQ)
+			return
+		}
+		cursor = c
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	// Flush the headers immediately: a subscriber to an idle session must see
+	// the stream open now, not at the first event or heartbeat.
+	fl.Flush()
+
+	const heartbeat = 15 * time.Second
+	id := sess.ID()
+	// push re-resolves the session on every attempt: a pinned *Session would
+	// go silently stale after DELETE (or after LRU eviction + revival on a
+	// durable engine, which builds a NEW session object for subsequent
+	// ingest). The live lookup is a sharded map read; gone = stream over.
+	push := func() (sent, alive bool) {
+		cur, ok := s.engine.Session(id)
+		if !ok {
+			return false, false
+		}
+		v := cur.Version()
+		if v == cursor {
+			return false, true
+		}
+		var (
+			out estimatesJSON
+			err error
+		)
+		if windowed {
+			out, err = windowedToJSON(cur, kind)
+		} else {
+			out = estimatesToJSON(cur)
+		}
+		if err != nil {
+			// Windowed view not available yet (no completed window): advance
+			// the cursor silently and try again after the next mutation.
+			cursor = v
+			return false, true
+		}
+		b, merr := json.Marshal(out)
+		if merr != nil {
+			return false, true
+		}
+		fmt.Fprintf(w, "id: %d\nevent: estimates\ndata: %s\n\n", v, b)
+		fl.Flush()
+		cursor = v
+		return true, true
+	}
+
+	now := time.Now()
+	lastActivity, lastPush := now, now
+	if sent, alive := push(); !alive {
+		return
+	} else if sent {
+		lastActivity = time.Now()
+	}
+	// Tick at least as often as the heartbeat needs, even when the client
+	// asked for a long coalescing interval — otherwise an idle stream sends
+	// nothing for min_interval and proxies with shorter idle timeouts cut it.
+	tick := interval
+	if tick > heartbeat {
+		tick = heartbeat
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-t.C:
+			now := time.Now()
+			if now.Sub(lastPush) >= interval {
+				sent, alive := push()
+				if !alive {
+					return
+				}
+				if sent {
+					lastPush, lastActivity = now, now
+					continue
+				}
+			}
+			if now.Sub(lastActivity) >= heartbeat {
+				// Comment line: keeps proxies and clients from timing out an
+				// idle stream.
+				fmt.Fprint(w, ": keep-alive\n\n")
+				fl.Flush()
+				lastActivity = now
+			}
+		}
+	}
+}
+
+// handleBatchEstimates serves dashboard readers: one POST returns the
+// current estimates of many sessions at once, each read riding the
+// per-session cache. Unknown ids are reported in "missing" instead of
+// failing the whole batch.
+func (s *server) handleBatchEstimates(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		IDs    []string `json:"ids"`
+		Window string   `json:"window,omitempty"`
+	}
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	const maxBatchIDs = 10000
+	if len(req.IDs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty ids")
+		return
+	}
+	if len(req.IDs) > maxBatchIDs {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d ids exceeds limit %d", len(req.IDs), maxBatchIDs)
+		return
+	}
+	var kind dqm.WindowKind
+	windowed := false
+	if req.Window != "" {
+		k, err := dqm.ParseWindowKind(req.Window)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		kind, windowed = k, true
+	}
+	results := make(map[string]estimatesJSON, len(req.IDs))
+	seen := make(map[string]struct{}, len(req.IDs))
+	var missing []string
+	errs := make(map[string]string)
+	for _, id := range req.IDs {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		sess, ok := s.engine.Session(id)
+		if !ok {
+			missing = append(missing, id)
+			continue
+		}
+		if windowed {
+			out, err := windowedToJSON(sess, kind)
+			if err != nil {
+				errs[id] = err.Error()
+				continue
+			}
+			results[id] = out
+		} else {
+			results[id] = estimatesToJSON(sess)
+		}
+	}
+	resp := map[string]any{"results": results}
+	if len(missing) > 0 {
+		resp["missing"] = missing
+	}
+	if len(errs) > 0 {
+		resp["errors"] = errs
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleCreateSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -658,7 +1004,7 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		SnapshotID string `json:"snapshot_id"`
 	}
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	s.snapMu.Lock()

@@ -357,6 +357,12 @@ func TestDurableServerRestartRecovers(t *testing.T) {
 	srv2 := mustServer(t, cfg)
 	defer srv2.Close()
 	got := do(t, srv2, "GET", "/v1/sessions/persist/estimates", nil, http.StatusOK)
+	// The mutation version is a session-local counter, not part of estimator
+	// state: recovery rebases it on the replayed stream (never lower than the
+	// pre-crash value, so watch cursors stay safe) — exclude it from the
+	// bit-identity comparison.
+	delete(got, "version")
+	delete(want, "version")
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("estimates after restart differ:\n got %v\nwant %v", got, want)
 	}

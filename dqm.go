@@ -32,6 +32,13 @@
 // recovers all sessions on reopen with bit-identical estimator state, so the
 // estimate survives a crash of the process consulting it mid-cleaning.
 //
+// The read path is built for heavy polling: Estimates on an unchanged
+// session is a lock-free cache hit (Session.Version exposes the underlying
+// mutation counter for change detection), and sessions created with
+// Config.Window additionally serve windowed estimates — the quality of the
+// last N tasks, tumbling or sliding, plus an exponentially decayed aggregate
+// (Session.WindowEstimates) — for streams whose error rate drifts.
+//
 // Estimators implemented (paper section in parentheses):
 //
 //   - Nominal (§2.2.1) and Voting (§2.2.2) — descriptive baselines;
@@ -57,6 +64,7 @@ import (
 	"dqm/internal/switchstat"
 	"dqm/internal/votes"
 	"dqm/internal/wal"
+	"dqm/internal/window"
 )
 
 // Vote is one worker judgment: worker Worker looked at item Item and marked
@@ -102,6 +110,73 @@ type Config struct {
 	// EstimatorNames); nil selects the full paper suite. Estimators left out
 	// report zero in Estimates.
 	Estimators []string
+	// Window, when set, additionally runs the selected estimators over
+	// task-count windows — "the quality of the last N tasks" — alongside the
+	// all-time estimate. Nil disables windowed estimation.
+	Window *WindowConfig
+}
+
+// WindowConfig parameterizes windowed estimation (see Session.WindowEstimates).
+type WindowConfig struct {
+	// Size is the window length in completed tasks (> 0).
+	Size int
+	// Stride is the task offset between successive window starts: 0 or Size
+	// selects tumbling windows, smaller values sliding windows built from
+	// ceil(Size/Stride) staggered panes. Every vote feeds every open pane, so
+	// the pane count multiplies ingest cost; it is capped at 64.
+	Stride int
+	// DecayAlpha in (0, 1] is the weight of the newest completed window in
+	// the exponentially decayed aggregate; 0 disables WindowDecayed reads.
+	DecayAlpha float64
+}
+
+// Validate reports whether the configuration is serveable; Engine.CreateSession
+// validates automatically, NewRecorder panics on invalid configs.
+func (c WindowConfig) Validate() error { return c.internal().Validate() }
+
+func (c WindowConfig) internal() window.Config {
+	return window.Config{Size: c.Size, Stride: c.Stride, DecayAlpha: c.DecayAlpha}
+}
+
+// WindowKind selects a windowed view.
+type WindowKind int
+
+const (
+	// WindowCurrent is the oldest still-open window: the most recent
+	// up-to-Size completed tasks. Moves with every vote.
+	WindowCurrent WindowKind = iota
+	// WindowLast is the most recently completed full window; stable between
+	// rotations.
+	WindowLast
+	// WindowDecayed is the exponentially decayed aggregate over completed
+	// windows (requires WindowConfig.DecayAlpha > 0).
+	WindowDecayed
+)
+
+// String implements fmt.Stringer ("current", "last", "decayed").
+func (k WindowKind) String() string { return window.Kind(k).String() }
+
+// ParseWindowKind inverts WindowKind.String; API layers use it for the
+// ?window= query parameter.
+func ParseWindowKind(s string) (WindowKind, error) {
+	k, err := window.ParseKind(s)
+	return WindowKind(k), err
+}
+
+// WindowEstimates is one windowed estimate read.
+type WindowEstimates struct {
+	// Estimates is the estimator snapshot over the window's tasks (for
+	// WindowDecayed, the decayed aggregate).
+	Estimates Estimates
+	// Kind is the view that produced the result.
+	Kind WindowKind
+	// Start and End delimit the covered task interval [Start, End).
+	Start, End int64
+	// Tasks is the number of completed tasks covered (< Size only for a
+	// partial WindowCurrent early in a window).
+	Tasks int64
+	// Complete reports a full Size-task window.
+	Complete bool
 }
 
 // Defaults returns the paper-faithful configuration.
@@ -127,6 +202,17 @@ func (c Config) suiteConfig() estimator.SuiteConfig {
 		},
 		CapToPopulation: c.CapToPopulation,
 	}
+}
+
+// sessionConfig lowers the public Config to the engine's session
+// configuration.
+func (c Config) sessionConfig() engine.SessionConfig {
+	sc := engine.SessionConfig{Suite: c.suiteConfig()}
+	if c.Window != nil {
+		w := c.Window.internal()
+		sc.Window = &w
+	}
+	return sc
 }
 
 // EstimatorNames returns every registered estimator name, sorted; these are
@@ -217,10 +303,11 @@ type Recorder struct {
 
 // NewRecorder creates a recorder over a population of n items (records, or
 // candidate pairs for entity resolution). It panics on an unregistered name
-// in Config.Estimators; validate user input with EstimatorNames first, or
-// create sessions through an Engine, which returns an error instead.
+// in Config.Estimators and on an invalid Config.Window; validate user input
+// with EstimatorNames/WindowConfig.Validate first, or create sessions
+// through an Engine, which returns errors instead.
 func NewRecorder(n int, cfg Config) *Recorder {
-	return &Recorder{Session{s: engine.NewSession("", n, engine.SessionConfig{Suite: cfg.suiteConfig()})}}
+	return &Recorder{Session{s: engine.NewSession("", n, cfg.sessionConfig())}}
 }
 
 // IsJournalError reports whether err came from a durable session's
@@ -355,13 +442,13 @@ func (e *Engine) Checkpoint() error { return e.e.Checkpoint() }
 func (e *Engine) Close() error { return e.e.Close() }
 
 // CreateSession registers a new session over a population of n items. It
-// fails on an empty or duplicate id, a non-positive population, or an
-// unregistered estimator name in cfg.Estimators.
+// fails on an empty or duplicate id, a non-positive population, an
+// unregistered estimator name in cfg.Estimators, or an invalid cfg.Window.
 func (e *Engine) CreateSession(id string, n int, cfg Config) (*Session, error) {
 	if err := estimator.ValidateNames(cfg.Estimators); err != nil {
 		return nil, err
 	}
-	s, err := e.e.Create(id, n, engine.SessionConfig{Suite: cfg.suiteConfig()})
+	s, err := e.e.Create(id, n, cfg.sessionConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -442,8 +529,48 @@ func (s *Session) EndTask() { s.s.EndTask() }
 // Tasks returns the number of completed tasks.
 func (s *Session) Tasks() int64 { return s.s.Tasks() }
 
-// Estimates evaluates all selected estimators at the current position.
+// Estimates returns all selected estimators' values at the current position.
+// Reads of an unchanged session are served lock-free from a version-guarded
+// cache (two atomic loads and a struct copy), so estimate polling never
+// contends with ingest; only the first read after a mutation recomputes.
 func (s *Session) Estimates() Estimates { return fromInternal(s.s.Estimates()) }
+
+// Version returns the session's monotonic mutation counter: it advances on
+// every applied mutation (votes, task boundaries, resets, restores) and
+// never repeats for distinct states. Poll it to detect change without
+// reading estimates (the SSE watch endpoint of dqm-serve is built on it).
+func (s *Session) Version() uint64 { return s.s.Version() }
+
+// Windowed reports whether the session was created with a window config.
+func (s *Session) Windowed() bool { return s.s.Windowed() }
+
+// WindowConfig returns the session's normalized window configuration
+// (Stride filled in), and false for sessions without one.
+func (s *Session) WindowConfig() (WindowConfig, bool) {
+	w, ok := s.s.WindowConfig()
+	if !ok {
+		return WindowConfig{}, false
+	}
+	return WindowConfig{Size: w.Size, Stride: w.Stride, DecayAlpha: w.DecayAlpha}, true
+}
+
+// WindowEstimates evaluates the selected windowed view. It fails on sessions
+// without a Config.Window and on views that are not available yet (no
+// completed window, or WindowDecayed without DecayAlpha).
+func (s *Session) WindowEstimates(kind WindowKind) (WindowEstimates, error) {
+	res, err := s.s.WindowEstimates(window.Kind(kind))
+	if err != nil {
+		return WindowEstimates{}, err
+	}
+	return WindowEstimates{
+		Estimates: fromInternal(res.Estimates),
+		Kind:      WindowKind(res.Kind),
+		Start:     res.Start,
+		End:       res.End,
+		Tasks:     res.Tasks,
+		Complete:  res.Complete,
+	}, nil
+}
 
 // MajorityDirty reports the current majority consensus for an item.
 func (s *Session) MajorityDirty(item int) bool { return s.s.MajorityDirty(item) }

@@ -8,6 +8,7 @@ import (
 	"dqm/internal/estimator"
 	"dqm/internal/votes"
 	"dqm/internal/wal"
+	"dqm/internal/window"
 )
 
 // syntheticBatch builds one task-sized batch of votes over n items.
@@ -96,6 +97,92 @@ func BenchmarkEngineParallelIngest(b *testing.B) {
 			i++
 		}
 	})
+	b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "votes/s")
+}
+
+// BenchmarkEstimatesCached measures the estimate read path: "cold" is the
+// full recompute (every estimator re-evaluated — what every read cost before
+// the version-guarded cache), "cached" is a lock-free cache hit on an
+// unchanged session, and "parallel" is the many-readers shape of dashboard
+// fan-out. The acceptance bar is cached ≥ 50x faster than cold.
+func BenchmarkEstimatesCached(b *testing.B) {
+	// 2M votes over 10k items: the switch/fingerprint state a recompute has
+	// to walk is what makes the old read path O(state).
+	const n, preTasks = 10000, 200000
+	s := NewSession("bench", n, SessionConfig{
+		Suite: estimator.SuiteConfig{WithoutHistory: true},
+	})
+	for i := 0; i < preTasks; i++ {
+		if err := s.Append(syntheticBatch(n, 10, i), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// "cold" is the polling-while-cleaning regime the old read path paid on
+	// EVERY poll: the session saw a task boundary since the last read, so
+	// every estimator (and the switch tracker's per-task state) must
+	// recompute. The 10-vote append is ~0.35 µs of the reported time; the
+	// rest is the recompute the cache now amortizes to once per mutation.
+	batches := make([][]votes.Vote, 64)
+	for i := range batches {
+		batches[i] = syntheticBatch(n, 10, i)
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := s.Append(batches[i%len(batches)], true); err != nil {
+				b.Fatal(err)
+			}
+			s.Estimates()
+		}
+	})
+	// "idle-recompute" is the old per-poll cost on an UNCHANGED session (no
+	// lazy state to rebuild — the best case of the old path).
+	b.Run("idle-recompute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.suite.EstimateAllUncached()
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		s.Estimates() // publish the cache once
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Estimates()
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		s.Estimates()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				s.Estimates()
+			}
+		})
+	})
+}
+
+// BenchmarkWindowedIngest measures the ingest-cost multiplier of windowed
+// estimation (every vote feeds every open pane).
+func BenchmarkWindowedIngest(b *testing.B) {
+	const n, batchSize = 10000, 10
+	wcfg := window.Config{Size: 100, Stride: 50, DecayAlpha: 0.3}
+	s := NewSession("bench", n, SessionConfig{
+		Suite:  estimator.SuiteConfig{WithoutHistory: true},
+		Window: &wcfg,
+	})
+	batches := make([][]votes.Vote, 64)
+	for i := range batches {
+		batches[i] = syntheticBatch(n, batchSize, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(batches[i%len(batches)], true); err != nil {
+			b.Fatal(err)
+		}
+	}
 	b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "votes/s")
 }
 

@@ -32,6 +32,7 @@ import (
 	"dqm/internal/estimator"
 	"dqm/internal/votes"
 	"dqm/internal/wal"
+	"dqm/internal/window"
 )
 
 // Config parameterizes an Engine.
@@ -212,13 +213,35 @@ func (e *Engine) recoverSession(id string) (*Session, error) {
 	if err := estimator.ValidateNames(cfg.Suite.Estimators); err != nil {
 		return nil, fmt.Errorf("engine: session %q: %w", id, err)
 	}
+	if cfg.Window != nil {
+		if err := cfg.Window.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: session %q: bad stored config: %w", id, err)
+		}
+	}
 	s := NewSession(id, meta.Items, cfg)
 	if !meta.CreatedAt.IsZero() {
 		s.created = meta.CreatedAt
 	}
 	n := meta.Items
+	// Window rotations replay deterministically from the task stream; the
+	// journaled opWindow records are the cross-check. Every rotation the
+	// replayed ring seals is stashed here and must be consumed by the
+	// rotation record in the same frame — a mismatch means the journal and
+	// the window state machine disagree, which recovery must refuse rather
+	// than serve silently wrong windows.
+	var pending *window.Rotation
+	var replayErr error
+	checkNoPending := func() error {
+		if pending != nil {
+			return fmt.Errorf("engine: session %q: window rotation at task %d has no journal record", id, pending.Start)
+		}
+		return nil
+	}
 	j, err := e.store.Recover(id, wal.Hooks{
 		Vote: func(item, worker int, dirty bool) error {
+			if err := checkNoPending(); err != nil {
+				return err
+			}
 			if item < 0 || item >= n {
 				return fmt.Errorf("engine: journaled item %d outside population [0, %d)", item, n)
 			}
@@ -226,21 +249,51 @@ func (e *Engine) recoverSession(id string) (*Session, error) {
 			if dirty {
 				label = votes.Dirty
 			}
-			s.suite.Observe(votes.Vote{Item: item, Worker: worker, Label: label})
+			s.applyVote(votes.Vote{Item: item, Worker: worker, Label: label})
 			return nil
 		},
 		EndTask: func() {
-			s.tasks++
-			s.suite.EndTask()
+			// The hook cannot return an error; stash the violation and fail
+			// after Recover returns (the session is discarded on error anyway).
+			if err := checkNoPending(); err != nil && replayErr == nil {
+				replayErr = err
+			}
+			if rot, ok := s.applyEndTask(); ok {
+				pending = &rot
+			}
 		},
 		Reset: func() {
 			s.suite.Reset()
+			if s.ring != nil {
+				s.ring.Reset()
+			}
 			s.tasks = 0
+			pending = nil
+		},
+		Window: func(start int64) error {
+			if pending == nil {
+				return fmt.Errorf("engine: session %q: journaled window rotation at task %d, but replay sealed none", id, start)
+			}
+			if pending.Start != start {
+				return fmt.Errorf("engine: session %q: journaled window rotation at task %d, replay sealed task %d", id, start, pending.Start)
+			}
+			pending = nil
+			return nil
 		},
 	})
 	if err != nil {
 		return nil, err
 	}
+	if replayErr == nil {
+		replayErr = checkNoPending()
+	}
+	if replayErr != nil {
+		j.Close()
+		return nil, replayErr
+	}
+	// Publish the replayed position to lock-free readers (the session is not
+	// shared yet, but keep the invariant: version reflects applied state).
+	s.version.Store(s.suite.Version())
 	s.journal = j
 	return s, nil
 }
@@ -271,6 +324,11 @@ func (e *Engine) Create(id string, n int, cfg SessionConfig) (*Session, error) {
 	}
 	if n <= 0 {
 		return nil, fmt.Errorf("engine: population size %d must be positive", n)
+	}
+	if cfg.Window != nil {
+		if err := cfg.Window.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	// Reject duplicates before evicting or building anything: a retried
 	// create of an existing id must not cost an unrelated session its state

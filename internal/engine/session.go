@@ -10,6 +10,7 @@ import (
 	"dqm/internal/estimator"
 	"dqm/internal/votes"
 	"dqm/internal/wal"
+	"dqm/internal/window"
 	"dqm/internal/xrand"
 )
 
@@ -43,20 +44,30 @@ type SessionConfig struct {
 	// CISeed seeds the bootstrap confidence-interval RNG; 0 selects the
 	// default.
 	CISeed uint64
+	// Window, when set, additionally runs the selected estimators over
+	// tumbling/sliding task-count windows (see package window). Nil disables
+	// windowed estimation. The config is persisted with the session, so a
+	// recovered session rebuilds identical window state.
+	Window *window.Config `json:",omitempty"`
 }
 
 // Session is one independent dataset being cleaned: a vote stream, the
 // selected estimator suite over it, and snapshot/restore of the full
 // estimator state. All methods are safe for concurrent use; a single mutex
-// serializes them (votes within one session form one logical stream, so
+// serializes mutations (votes within one session form one logical stream, so
 // there is nothing to parallelize inside a session — concurrency comes from
-// many sessions).
+// many sessions). Estimate READS are different: Estimates serves from a
+// version-guarded cache without touching the mutex at all when the session
+// has not mutated since the last read, so heavy read traffic cannot stall
+// ingest (and vice versa).
 type Session struct {
 	id      string
 	created time.Time
 
 	mu    sync.Mutex
 	suite *estimator.Suite
+	// ring is the windowed-estimation state (nil without a window config).
+	ring  *window.Ring
 	tasks int64
 
 	// journal is the write-ahead log of a durable session (nil otherwise).
@@ -64,12 +75,49 @@ type Session struct {
 	// order equals apply order and recovery replays to bit-identical state.
 	journal *wal.Journal
 
-	ciSeed   uint64
+	ciSeed uint64
+	// ciCache memoizes bootstrap confidence intervals by (kind, replicates,
+	// level); entries are valid while their version still matches. Guarded by
+	// mu (the bootstrap itself runs under mu anyway).
+	ciCache map[ciKey]ciEntry
+
 	lastUsed atomic.Int64 // unix nanos; read lock-free by the evictor
+
+	// version counts applied mutations; it is published (atomically, after
+	// the state change, still under mu) so lock-free readers can validate
+	// cached estimates and watchers can poll for changes without contending
+	// with ingest. It also advances on Restore — unlike the suite's own
+	// counter, it can never move backwards or repeat for distinct states.
+	version atomic.Uint64
+	// cached is the last published estimate snapshot, immutable once stored.
+	cached atomic.Pointer[estimateCache]
+}
+
+// estimateCache pairs an estimate snapshot with the session version it was
+// computed at. The struct is never mutated after publication.
+type estimateCache struct {
+	version uint64
+	est     estimator.Estimates
+}
+
+// ciKey identifies one bootstrap-CI request shape.
+type ciKey struct {
+	kind       byte // 's' = SWITCH, 'c' = Chao92
+	replicates int
+	level      float64
+}
+
+// ciEntry is one cached interval, valid while version matches the session.
+type ciEntry struct {
+	version uint64
+	ci      estimator.CI
 }
 
 // NewSession creates a standalone session over a population of n items.
-// Sessions managed by an Engine are created via Engine.Create instead.
+// Sessions managed by an Engine are created via Engine.Create instead. It
+// panics on an invalid window config (API layers validate user input with
+// window.Config.Validate, or create sessions through an Engine, which
+// returns an error instead).
 func NewSession(id string, n int, cfg SessionConfig) *Session {
 	if cfg.CISeed == 0 {
 		cfg.CISeed = defaultCISeed
@@ -80,6 +128,9 @@ func NewSession(id string, n int, cfg SessionConfig) *Session {
 		created: now,
 		suite:   estimator.NewSuite(n, cfg.Suite),
 		ciSeed:  cfg.CISeed,
+	}
+	if cfg.Window != nil {
+		s.ring = window.New(n, cfg.Suite, *cfg.Window)
 	}
 	s.lastUsed.Store(now.UnixNano())
 	return s
@@ -95,6 +146,44 @@ func (s *Session) CreatedAt() time.Time { return s.created }
 func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) }
 
 func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+// bump publishes one applied mutation to lock-free readers. Call under mu,
+// after the state change.
+func (s *Session) bump() { s.version.Add(1) }
+
+// applyVote feeds one vote to the all-time suite and the window ring. Every
+// ingest path — live and recovery replay — funnels through here, so the two
+// states cannot diverge.
+func (s *Session) applyVote(v votes.Vote) {
+	s.suite.Observe(v)
+	if s.ring != nil {
+		s.ring.Observe(v)
+	}
+}
+
+// applyEndTask marks one task boundary everywhere, returning the window
+// rotation it sealed (if any).
+func (s *Session) applyEndTask() (window.Rotation, bool) {
+	s.tasks++
+	s.suite.EndTask()
+	if s.ring == nil {
+		return window.Rotation{}, false
+	}
+	return s.ring.EndTask()
+}
+
+// journalBatch write-ahead-logs one batch (and, for a task boundary on a
+// windowed session, the rotation that boundary will seal — in the same
+// frame, so recovery can never see the boundary without its rotation).
+// Call under mu, before applying.
+func (s *Session) journalBatch(batch []votes.Vote, endTask bool) error {
+	if endTask && s.ring != nil {
+		if rot, ok := s.ring.WillRotate(); ok {
+			return s.journal.AppendRotation(batch, rot.Start)
+		}
+	}
+	return s.journal.Append(batch, endTask)
+}
 
 // Record ingests one vote. It panics on an out-of-range item (mirroring
 // slice semantics) and on a journal write failure; external input should go
@@ -117,7 +206,8 @@ func (s *Session) Record(item, worker int, dirty bool) {
 			panic(fmt.Sprintf("engine: session %q journal: %v", s.id, err))
 		}
 	}
-	s.suite.Observe(v)
+	s.applyVote(v)
+	s.bump()
 	s.touch()
 }
 
@@ -138,17 +228,17 @@ func (s *Session) Append(batch []votes.Vote, endTask bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.journal != nil {
-		if err := s.journal.Append(batch, endTask); err != nil {
+		if err := s.journalBatch(batch, endTask); err != nil {
 			return &JournalError{SessionID: s.id, Err: err}
 		}
 	}
 	for _, v := range batch {
-		s.suite.Observe(v)
+		s.applyVote(v)
 	}
 	if endTask {
-		s.tasks++
-		s.suite.EndTask()
+		s.applyEndTask()
 	}
+	s.bump()
 	s.touch()
 	return nil
 }
@@ -160,12 +250,12 @@ func (s *Session) EndTask() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.journal != nil {
-		if err := s.journal.EndTask(); err != nil {
+		if err := s.journalBatch(nil, true); err != nil {
 			panic(fmt.Sprintf("engine: session %q journal: %v", s.id, err))
 		}
 	}
-	s.tasks++
-	s.suite.EndTask()
+	s.applyEndTask()
+	s.bump()
 	s.touch()
 }
 
@@ -176,12 +266,75 @@ func (s *Session) Tasks() int64 {
 	return s.tasks
 }
 
-// Estimates evaluates every selected estimator at the current position.
+// Estimates returns every selected estimator's value at the current
+// position. The fast path is lock-free: if the session has not mutated since
+// the last read (version unchanged), the cached snapshot is returned without
+// acquiring the session mutex at all — a read costs two atomic loads and a
+// struct copy, so estimate polling never contends with ingest. Only the
+// first read after a mutation recomputes, under the mutex.
 func (s *Session) Estimates() estimator.Estimates {
+	v := s.version.Load()
+	if c := s.cached.Load(); c != nil && c.version == v {
+		s.touch()
+		return c.est.Clone()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.touch()
-	return s.suite.EstimateAll()
+	return s.estimatesLocked()
+}
+
+// estimatesLocked recomputes (or revalidates) the estimate snapshot and
+// publishes it to the lock-free cache. Call under mu.
+func (s *Session) estimatesLocked() estimator.Estimates {
+	e := s.suite.EstimateAll() // memoized by the suite's own version
+	// Under mu no mutator can run, so the version read here is exactly the
+	// version of the state e was computed from.
+	s.cached.Store(&estimateCache{version: s.version.Load(), est: e.Clone()})
+	return e
+}
+
+// Version returns the session's monotonic mutation counter. It advances on
+// every applied mutation (votes, task boundaries, resets, restores) and
+// never repeats for distinct states, so clients — the SSE watch endpoint,
+// dashboard pollers — can cheaply detect "has anything changed since
+// version V" without reading estimates at all.
+func (s *Session) Version() uint64 { return s.version.Load() }
+
+// CachedVersion returns the version of the currently published estimate
+// snapshot (0 before the first read). Version()−CachedVersion() is the
+// staleness of the read cache in mutations.
+func (s *Session) CachedVersion() uint64 {
+	if c := s.cached.Load(); c != nil {
+		return c.version
+	}
+	return 0
+}
+
+// Windowed reports whether the session runs windowed estimation.
+func (s *Session) Windowed() bool { return s.ring != nil }
+
+// WindowConfig returns the session's (normalized) window configuration.
+func (s *Session) WindowConfig() (window.Config, bool) {
+	if s.ring == nil {
+		return window.Config{}, false
+	}
+	return s.ring.Config(), true
+}
+
+// WindowEstimates evaluates the selected windowed view (see window.Kind). It
+// fails on sessions without a window config and on views that are not
+// available yet (no completed window). Windowed reads take the session
+// mutex, but the per-pane suites memoize, so repeated reads of an unchanged
+// window are cheap.
+func (s *Session) WindowEstimates(kind window.Kind) (window.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ring == nil {
+		return window.Result{}, fmt.Errorf("engine: session %q has no window configuration", s.id)
+	}
+	s.touch()
+	return s.ring.Estimates(kind)
 }
 
 // EstimatorNames returns the session's selected estimators in evaluation
@@ -233,7 +386,11 @@ func (s *Session) Reset() {
 		}
 	}
 	s.suite.Reset()
+	if s.ring != nil {
+		s.ring.Reset()
+	}
 	s.tasks = 0
+	s.bump()
 	s.touch()
 }
 
@@ -294,24 +451,53 @@ func (s *Session) closeJournal() error {
 	return s.journal.Close()
 }
 
+// maxCICacheEntries bounds the per-session CI memo; beyond it the whole map
+// is dropped (distinct request shapes per session are few in practice).
+const maxCICacheEntries = 32
+
+// cachedCI memoizes one bootstrap by (kind, replicates, level), keyed on the
+// session version: the bootstrap is deterministic given the seed and the
+// vote stream, so an unchanged session always reproduces the same interval —
+// recomputing it on every poll would hold the session mutex for
+// O(replicates·N) per read. Call under mu.
+func (s *Session) cachedCI(key ciKey, compute func() (estimator.CI, error)) (estimator.CI, error) {
+	v := s.version.Load()
+	if e, ok := s.ciCache[key]; ok && e.version == v {
+		return e.ci, nil
+	}
+	ci, err := compute()
+	if err != nil {
+		return ci, err
+	}
+	if s.ciCache == nil || len(s.ciCache) >= maxCICacheEntries {
+		s.ciCache = make(map[ciKey]ciEntry, 4)
+	}
+	s.ciCache[key] = ciEntry{version: v, ci: ci}
+	return ci, nil
+}
+
 // SwitchCI computes a bootstrap confidence interval for the SWITCH total
-// estimate. The session must have been configured with
-// SwitchConfig.RetainLedgers.
+// estimate, cached by (replicates, level) until the session mutates. The
+// session must have been configured with SwitchConfig.RetainLedgers.
 func (s *Session) SwitchCI(replicates int, level float64) (estimator.CI, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.suite.Switch == nil {
 		return estimator.CI{}, fmt.Errorf("engine: session %q has no SWITCH estimator", s.id)
 	}
-	return s.suite.Switch.BootstrapSwitch(replicates, level, xrand.New(s.ciSeed))
+	return s.cachedCI(ciKey{'s', replicates, level}, func() (estimator.CI, error) {
+		return s.suite.Switch.BootstrapSwitch(replicates, level, xrand.New(s.ciSeed))
+	})
 }
 
 // Chao92CI computes a bootstrap confidence interval for the Chao92 total
-// estimate.
+// estimate, cached by (replicates, level) until the session mutates.
 func (s *Session) Chao92CI(replicates int, level float64) (estimator.CI, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return estimator.BootstrapChao92(s.suite.Matrix, replicates, level, xrand.New(s.ciSeed))
+	return s.cachedCI(ciKey{'c', replicates, level}, func() (estimator.CI, error) {
+		return estimator.BootstrapChao92(s.suite.Matrix, replicates, level, xrand.New(s.ciSeed))
+	})
 }
 
 // Snapshot captures the full estimator state (matrix, trackers, trend
@@ -320,11 +506,15 @@ func (s *Session) Chao92CI(replicates int, level float64) (estimator.CI, error) 
 func (s *Session) Snapshot() *Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return &Snapshot{
+	sn := &Snapshot{
 		suite: s.suite.Clone(),
 		tasks: s.tasks,
 		taken: time.Now(),
 	}
+	if s.ring != nil {
+		sn.ring = s.ring.Clone()
+	}
+	return sn
 }
 
 // Restore replaces the session's estimator state with the snapshot's. The
@@ -352,8 +542,21 @@ func (s *Session) Restore(sn *Snapshot) error {
 	if got, want := sn.suite.NumItems(), s.suite.NumItems(); got != want {
 		return fmt.Errorf("engine: snapshot population %d does not match session population %d", got, want)
 	}
+	if (sn.ring == nil) != (s.ring == nil) {
+		return fmt.Errorf("engine: snapshot and session disagree on windowed estimation")
+	}
+	if s.ring != nil && sn.ring.Config() != s.ring.Config() {
+		return fmt.Errorf("engine: snapshot window config %+v does not match session %+v", sn.ring.Config(), s.ring.Config())
+	}
 	s.suite = sn.suite.Clone()
+	if sn.ring != nil {
+		s.ring = sn.ring.Clone()
+	}
 	s.tasks = sn.tasks
+	// Restore is a mutation like any other: the version moves FORWARD (never
+	// back to the snapshot's), so lock-free readers and watch cursors can
+	// treat version equality as state equality.
+	s.bump()
 	s.touch()
 	return nil
 }
@@ -366,6 +569,9 @@ type Snapshot struct {
 	// so even read-style access must not run concurrently.
 	mu    sync.Mutex
 	suite *estimator.Suite
+	// ring carries the windowed state of a windowed session (nil otherwise),
+	// so Restore brings windows back alongside the all-time suite.
+	ring  *window.Ring
 	tasks int64
 	taken time.Time
 }

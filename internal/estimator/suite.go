@@ -29,6 +29,18 @@ type Suite struct {
 
 	cfg SuiteConfig
 	n   int
+
+	// version counts mutations (Observe, EndTask, Reset) monotonically. It is
+	// the cache key of the EstimateAll memo and the signal the session layer
+	// publishes to lock-free readers; Clone carries it so a snapshot and its
+	// source agree on the position of the stream.
+	version uint64
+	// memo caches the last EstimateAll result; valid while memoVersion still
+	// equals version. memo.Extra is privately owned (cloned in, cloned out) so
+	// a caller mutating a returned Extra map cannot corrupt the cache.
+	memo        Estimates
+	memoVersion uint64
+	memoValid   bool
 }
 
 // SuiteConfig configures a Suite.
@@ -121,9 +133,15 @@ func (s *Suite) Config() SuiteConfig { return s.cfg }
 // NumItems returns the population size N.
 func (s *Suite) NumItems() int { return s.n }
 
+// Version returns the monotonic mutation counter: it advances on every
+// Observe, EndTask and Reset, and never goes backwards within one suite.
+// Two reads of an equal version are guaranteed to see identical estimates.
+func (s *Suite) Version() uint64 { return s.version }
+
 // Observe ingests one vote into the shared matrix and every streaming
 // member.
 func (s *Suite) Observe(v votes.Vote) {
+	s.version++
 	s.Matrix.Add(v)
 	for _, m := range s.streaming {
 		m.Observe(v)
@@ -140,6 +158,7 @@ func (s *Suite) ObserveTask(task []votes.Vote) {
 
 // EndTask marks a task boundary for the trend detectors.
 func (s *Suite) EndTask() {
+	s.version++
 	for _, m := range s.streaming {
 		m.EndTask()
 	}
@@ -168,9 +187,41 @@ func (e Estimates) ByName(name string) float64 {
 	return e.Extra[name]
 }
 
-// EstimateAll evaluates every member at the current stream position. Members
-// not selected leave their zero value in the snapshot.
+// Clone returns the snapshot with an independent copy of its Extra map (the
+// only reference field), so two holders cannot alias each other's mutations.
+// Every layer that caches or aggregates Estimates (the suite memo, the
+// session read cache, the window ring) copies through here.
+func (e Estimates) Clone() Estimates {
+	if e.Extra == nil {
+		return e
+	}
+	extra := make(map[string]float64, len(e.Extra))
+	for k, v := range e.Extra {
+		extra[k] = v
+	}
+	e.Extra = extra
+	return e
+}
+
+// EstimateAll evaluates every member at the current stream position, memoized
+// on the mutation version: repeated reads of an unchanged stream return the
+// cached snapshot instead of re-running every estimator. Members not selected
+// leave their zero value in the snapshot.
 func (s *Suite) EstimateAll() Estimates {
+	if s.memoValid && s.memoVersion == s.version {
+		return s.memo.Clone()
+	}
+	e := s.EstimateAllUncached()
+	s.memo = e.Clone()
+	s.memoVersion = s.version
+	s.memoValid = true
+	return e
+}
+
+// EstimateAllUncached evaluates every member unconditionally, bypassing the
+// version memo. It is the raw recompute path (and the baseline the read-path
+// benchmarks compare the cache against).
+func (s *Suite) EstimateAllUncached() Estimates {
 	var e Estimates
 	for i, m := range s.members {
 		if extra := s.extras[i]; extra != "" {
@@ -203,9 +254,10 @@ func (s *Suite) EstimateAll() Estimates {
 // ingest independently afterwards.
 func (s *Suite) Clone() *Suite {
 	out := &Suite{
-		Matrix: s.Matrix.Clone(),
-		cfg:    s.cfg,
-		n:      s.n,
+		Matrix:  s.Matrix.Clone(),
+		cfg:     s.cfg,
+		n:       s.n,
+		version: s.version,
 	}
 	for _, m := range s.members {
 		out.addMember(m.Name(), m.Clone(out.Matrix))
@@ -213,8 +265,12 @@ func (s *Suite) Clone() *Suite {
 	return out
 }
 
-// Reset clears the suite for the next permutation.
+// Reset clears the suite for the next permutation. The mutation version keeps
+// advancing (a reset is a mutation), so memoized estimates from before the
+// reset can never be served afterwards.
 func (s *Suite) Reset() {
+	s.version++
+	s.memoValid = false
 	s.Matrix.Reset()
 	for _, m := range s.streaming {
 		m.Reset()

@@ -19,6 +19,12 @@ func FuzzSegmentScan(f *testing.F) {
 	payload = appendVote(payload, votes.Vote{Item: 3, Worker: 1, Label: votes.Dirty})
 	payload = append(payload, opEnd)
 	f.Add(append(append([]byte{}, segMagic...), appendFrame(nil, payload)...))
+	// A windowed-session frame: vote, task boundary, window rotation.
+	var winPayload []byte
+	winPayload = appendVote(winPayload, votes.Vote{Item: 7, Worker: 2, Label: votes.Clean})
+	winPayload = append(winPayload, opEnd)
+	winPayload = appendWindow(winPayload, 42)
+	f.Add(append(append([]byte{}, segMagic...), appendFrame(nil, winPayload)...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
@@ -37,6 +43,13 @@ func FuzzSegmentScan(f *testing.F) {
 			},
 			EndTask: func() { n++ },
 			Reset:   func() { n++ },
+			Window: func(start int64) error {
+				if start < 0 {
+					t.Fatalf("scanner surfaced negative window start %d", start)
+				}
+				n++
+				return nil
+			},
 		}
 		res, _, err := scanSegment(path, hooks, nil)
 		if err != nil {
@@ -54,9 +67,11 @@ func FuzzRecordDecode(f *testing.F) {
 	var rec []byte
 	rec = appendVote(rec, votes.Vote{Item: 1 << 30, Worker: -5, Label: votes.Clean})
 	f.Add(rec)
+	f.Add(appendWindow([]byte{opEnd}, 1<<40))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_ = decodeRecords(data, Hooks{
-			Vote: func(item, worker int, dirty bool) error { return nil },
+			Vote:   func(item, worker int, dirty bool) error { return nil },
+			Window: func(start int64) error { return nil },
 		})
 	})
 }

@@ -100,6 +100,25 @@ func (j *Journal) EndTask() error {
 	return j.commit([]byte{opEnd})
 }
 
+// AppendRotation logs one engine batch, its task boundary, and the window
+// rotation that boundary seals — as ONE frame, so a torn tail can never
+// separate a task end from the rotation it fired: recovery either sees both
+// or neither, and replayed window boundaries always match an uninterrupted
+// run. windowStart is the first completed-task index of the sealed window.
+func (j *Journal) AppendRotation(batch []votes.Vote, windowStart int64) error {
+	if j.err != nil {
+		return j.err
+	}
+	payload := j.buf[:0]
+	for _, v := range batch {
+		payload = appendVote(payload, v)
+	}
+	payload = append(payload, opEnd)
+	payload = appendWindow(payload, windowStart)
+	j.buf = payload
+	return j.commit(payload)
+}
+
 // Reset logs a session reset. The next compaction discards everything before
 // it.
 func (j *Journal) Reset() error {
@@ -234,6 +253,10 @@ func (j *Journal) compact() error {
 		},
 		EndTask: func() { body = append(body, opEnd) },
 		Reset:   func() { body = body[:0] },
+		Window: func(start int64) error {
+			body = appendWindow(body, start)
+			return nil
+		},
 	}
 	if j.snapSeq > 0 {
 		old, err := readSnapshotBody(snapPath(j.dir, j.snapSeq))

@@ -10,18 +10,25 @@ import (
 
 // Record opcodes. A frame payload is a sequence of these.
 const (
-	opVote  byte = 0x01 // uvarint(item<<1 | dirty), zigzag-varint(worker)
-	opEnd   byte = 0x02 // task boundary
-	opReset byte = 0x03 // clear all session state
+	opVote   byte = 0x01 // uvarint(item<<1 | dirty), zigzag-varint(worker)
+	opEnd    byte = 0x02 // task boundary
+	opReset  byte = 0x03 // clear all session state
+	opWindow byte = 0x04 // uvarint(start): window rotation sealed at this task boundary
 )
 
 // Hooks receives the decoded record stream during replay. Vote may reject a
-// record (e.g. an out-of-population item after external tampering); the
-// error aborts replay and is reported as corruption, not as a torn tail.
+// record (e.g. an out-of-population item after external tampering) and
+// Window a rotation that does not match the deterministically replayed
+// window state; either error aborts replay and is reported as corruption,
+// not as a torn tail.
 type Hooks struct {
 	Vote    func(item, worker int, dirty bool) error
 	EndTask func()
 	Reset   func()
+	// Window observes a window-rotation record: the window starting at
+	// completed-task index start sealed at the task boundary logged
+	// immediately before it (always in the same frame as its opEnd).
+	Window func(start int64) error
 }
 
 // zigzag maps signed onto unsigned varint-friendly integers.
@@ -39,6 +46,12 @@ func appendVote(buf []byte, v votes.Vote) []byte {
 	buf = append(buf, opVote)
 	buf = binary.AppendUvarint(buf, key)
 	return binary.AppendUvarint(buf, zigzag(int64(v.Worker)))
+}
+
+// appendWindow appends one opWindow record.
+func appendWindow(buf []byte, start int64) []byte {
+	buf = append(buf, opWindow)
+	return binary.AppendUvarint(buf, uint64(start))
 }
 
 // decodeRecords streams one frame payload (or snapshot body) through h.
@@ -74,6 +87,17 @@ func decodeRecords(p []byte, h Hooks) error {
 		case opReset:
 			if h.Reset != nil {
 				h.Reset()
+			}
+		case opWindow:
+			start, n := binary.Uvarint(p)
+			if n <= 0 || start > math.MaxInt64 {
+				return fmt.Errorf("wal: bad window start varint")
+			}
+			p = p[n:]
+			if h.Window != nil {
+				if err := h.Window(int64(start)); err != nil {
+					return err
+				}
 			}
 		default:
 			return fmt.Errorf("wal: unknown record opcode 0x%02x", op)

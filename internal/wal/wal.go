@@ -17,7 +17,10 @@
 //	uvarint(len(payload)) | crc32c(payload) LE | payload
 //
 // and a payload is a sequence of varint records (opVote item<<1|dirty,
-// zigzag worker; opEnd; opReset). A torn or corrupt frame at the tail of the
+// zigzag worker; opEnd; opReset; opWindow start — a windowed session's
+// rotation, always in the same frame as the opEnd that sealed it, so task
+// boundaries and their window rotations are crash-atomic). A torn or corrupt
+// frame at the tail of the
 // final segment marks the end of durable history: recovery replays every
 // intact frame before it and truncates the rest, so the journal never admits
 // a gap. Corruption anywhere else is reported as an error instead of being

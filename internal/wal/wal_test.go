@@ -21,7 +21,7 @@ type op struct {
 	Dirty  bool
 }
 
-// recHooks collects replayed records.
+// recHooks collects replayed records. Window starts are recorded in Item.
 func recHooks(out *[]op) Hooks {
 	return Hooks{
 		Vote: func(item, worker int, dirty bool) error {
@@ -30,6 +30,10 @@ func recHooks(out *[]op) Hooks {
 		},
 		EndTask: func() { *out = append(*out, op{Kind: opEnd}) },
 		Reset:   func() { *out = append(*out, op{Kind: opReset}) },
+		Window: func(start int64) error {
+			*out = append(*out, op{Kind: opWindow, Item: int(start)})
+			return nil
+		},
 	}
 }
 
@@ -117,6 +121,86 @@ func TestJournalRoundTrip(t *testing.T) {
 	want = append(want, op{Kind: opVote, Item: 9, Worker: 2, Dirty: true}, op{Kind: opEnd})
 	if !reflect.DeepEqual(got3, want) {
 		t.Fatalf("after reopen+append:\n got %v\nwant %v", got3, want)
+	}
+}
+
+// TestAppendRotationRoundTrip: a window rotation shares its frame with the
+// task boundary that sealed it, and both survive a reopen in order.
+func TestAppendRotationRoundTrip(t *testing.T) {
+	s := testStore(t, Options{Fsync: FsyncNever})
+	j, err := s.Create(Meta{ID: "rot", Items: 50, CreatedAt: time.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []op
+	batch := []votes.Vote{mkVote(4, 1, true), mkVote(9, 2, false)}
+	if err := j.AppendRotation(batch, 30); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range batch {
+		want = append(want, op{Kind: opVote, Item: v.Item, Worker: v.Worker, Dirty: v.Label == votes.Dirty})
+	}
+	want = append(want, op{Kind: opEnd}, op{Kind: opWindow, Item: 30})
+	// A bare rotation boundary (EndTask with no votes) works too.
+	if err := j.AppendRotation(nil, 40); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, op{Kind: opEnd}, op{Kind: opWindow, Item: 40})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []op
+	j2, err := s.Recover("rot", recHooks(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rotation round trip:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCompactionPreservesWindowRecords: snapshot rewrites must carry window
+// rotations through, or recovered windowed state would silently lose its
+// boundary verification.
+func TestCompactionPreservesWindowRecords(t *testing.T) {
+	s := testStore(t, Options{Fsync: FsyncNever, SegmentBytes: 128, CompactAfter: 256})
+	j, err := s.Create(Meta{ID: "winpack", Items: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []op
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		batch := []votes.Vote{mkVote(rng.Intn(30), rng.Intn(5), rng.Intn(2) == 0)}
+		want = append(want, op{Kind: opVote, Item: batch[0].Item, Worker: batch[0].Worker, Dirty: batch[0].Label == votes.Dirty})
+		if i%5 == 4 {
+			start := int64(i - 4)
+			if err := j.AppendRotation(batch, start); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, op{Kind: opEnd}, op{Kind: opWindow, Item: int(start)})
+		} else {
+			if err := j.Append(batch, true); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, op{Kind: opEnd})
+		}
+	}
+	if j.snapSeq == 0 {
+		t.Fatal("no compaction happened despite tiny thresholds")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []op
+	j2, err := s.Recover("winpack", recHooks(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("window records lost through compaction: got %d ops, want %d", len(got), len(want))
 	}
 }
 
