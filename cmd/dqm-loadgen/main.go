@@ -1,0 +1,584 @@
+// Command dqm-loadgen is the deterministic workload driver behind the repo's
+// performance trajectory: it drives a dqm-serve target (or the in-process
+// engine) with a reproducible mix of vote-ingest, estimate-poll,
+// windowed-read and watch-subscribe traffic, and writes a machine-readable
+// BENCH_loadgen.json (throughput, p50/p99 latency, allocations) that CI
+// parses and gates on.
+//
+// Usage:
+//
+//	dqm-loadgen [-target http://host:8334] [-scenario mixed] [-sessions 4]
+//	            [-workers 8] [-duration 5s] [-items 5000] [-batch 20]
+//	            [-rate 0] [-seed 1] [-watchers 0] [-data-dir DIR]
+//	            [-out BENCH_loadgen.json]
+//
+// Without -target the engine is driven in-process (the engine-layer ceiling;
+// add -data-dir for the journaled variant); with -target requests go over
+// HTTP to a running dqm-serve. -rate sets an open-loop offered load in ops/s
+// across all workers (0 = closed loop: every worker issues its next op as
+// soon as the previous one returns).
+//
+// Scenarios (-scenario): ingest (100% vote ingest), poll (10/90
+// ingest/estimate-poll), mixed (70/30), watch (90/10 plus -watchers SSE
+// subscribers), drift (windowed sessions; the generated error rate jumps
+// 0.05→0.30 after 200 tasks per worker, the regime windowed estimation
+// exists for).
+//
+// Determinism: the op stream — sessions touched, batch contents, op order per
+// worker — is a pure function of (-seed, worker index, workload flags).
+// Wall-clock effects (how many ops fit in -duration) obviously vary.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dqm"
+)
+
+type config struct {
+	Target   string
+	Scenario string
+	Sessions int
+	Workers  int
+	Duration time.Duration
+	Items    int
+	Batch    int
+	Rate     float64
+	Seed     uint64
+	Watchers int
+	DataDir  string
+	Out      string
+}
+
+func main() {
+	fs := flag.NewFlagSet("dqm-loadgen", flag.ExitOnError)
+	var cfg config
+	fs.StringVar(&cfg.Target, "target", "", "dqm-serve base URL (empty = drive the engine in-process)")
+	fs.StringVar(&cfg.Scenario, "scenario", "mixed", "workload scenario: ingest, poll, mixed, watch or drift")
+	fs.IntVar(&cfg.Sessions, "sessions", 4, "concurrent sessions")
+	fs.IntVar(&cfg.Workers, "workers", 8, "concurrent load workers")
+	fs.DurationVar(&cfg.Duration, "duration", 5*time.Second, "measurement duration")
+	fs.IntVar(&cfg.Items, "items", 5000, "population size per session")
+	fs.IntVar(&cfg.Batch, "batch", 20, "votes per ingest op (one task each)")
+	fs.Float64Var(&cfg.Rate, "rate", 0, "offered load in ops/s across all workers (0 = closed loop)")
+	fs.Uint64Var(&cfg.Seed, "seed", 1, "workload seed (same seed = same request stream)")
+	fs.IntVar(&cfg.Watchers, "watchers", 0, "watch subscribers (watch scenario; 0 = one per session)")
+	fs.StringVar(&cfg.DataDir, "data-dir", "", "journal the in-process engine under this directory")
+	fs.StringVar(&cfg.Out, "out", "BENCH_loadgen.json", "report output path (empty = stdout summary only)")
+	fs.Parse(os.Args[1:])
+
+	rep, err := run(cfg)
+	if err != nil {
+		log.Fatalf("dqm-loadgen: %v", err)
+	}
+	if cfg.Out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("dqm-loadgen: encode report: %v", err)
+		}
+		if err := os.WriteFile(cfg.Out, append(b, '\n'), 0o644); err != nil {
+			log.Fatalf("dqm-loadgen: %v", err)
+		}
+		log.Printf("report written to %s", cfg.Out)
+	}
+	log.Print(rep.summary())
+}
+
+// report is the BENCH_loadgen.json schema (versioned; cmd/dqm-benchdiff
+// parses it).
+type report struct {
+	Tool            string  `json:"tool"`
+	SchemaVersion   int     `json:"schema_version"`
+	Scenario        string  `json:"scenario"`
+	Target          string  `json:"target"`
+	Seed            uint64  `json:"seed"`
+	Sessions        int     `json:"sessions"`
+	Workers         int     `json:"workers"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	RateLimit       float64 `json:"rate_limit_ops_per_sec,omitempty"`
+	GoVersion       string  `json:"go_version"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+
+	TotalOps       int64   `json:"total_ops"`
+	TotalErrors    int64   `json:"total_errors"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	VotesPerSec    float64 `json:"votes_per_sec"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	AllocKiBPerOp  float64 `json:"alloc_kib_per_op"`
+	WatchEvents    int64   `json:"watch_events,omitempty"`
+	WatchSubs      int     `json:"watch_subscribers,omitempty"`
+
+	Ops map[string]opReport `json:"ops"`
+}
+
+// opReport aggregates one op kind.
+type opReport struct {
+	Count     int64     `json:"count"`
+	Errors    int64     `json:"errors"`
+	Votes     int64     `json:"votes,omitempty"`
+	OpsPerSec float64   `json:"ops_per_sec"`
+	Latency   latencyMS `json:"latency_ms"`
+}
+
+// latencyMS is a latency digest in milliseconds.
+type latencyMS struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// summary renders the one-line human digest logged after a run.
+func (r *report) summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario=%s target=%s: %d ops (%.0f ops/s, %.0f votes/s, %d errors, %.1f allocs/op)",
+		r.Scenario, r.Target, r.TotalOps, r.OpsPerSec, r.VotesPerSec, r.TotalErrors, r.AllocsPerOp)
+	kinds := make([]string, 0, len(r.Ops))
+	for k := range r.Ops {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		o := r.Ops[k]
+		fmt.Fprintf(&b, "\n  %-12s %8d ops  p50=%.3fms p99=%.3fms max=%.3fms",
+			k, o.Count, o.Latency.P50, o.Latency.P99, o.Latency.Max)
+	}
+	if r.WatchSubs > 0 {
+		fmt.Fprintf(&b, "\n  %-12s %8d events from %d subscribers", "watch", r.WatchEvents, r.WatchSubs)
+	}
+	return b.String()
+}
+
+// driver abstracts the target: in-process engine or HTTP dqm-serve.
+type driver interface {
+	// do executes one generated op. ctx bounds the op (an HTTP driver must
+	// not block past the run deadline on a stalled target).
+	do(ctx context.Context, o op) error
+	// watch runs one subscriber against a session until ctx is done, adding
+	// every observed update to events.
+	watch(ctx context.Context, session int, events *atomic.Int64) error
+	close() error
+}
+
+// workerStats is one worker's private tally (merged after the run, so the
+// measured path has no shared state beyond the target itself).
+type workerStats struct {
+	count   [numOpKinds]int64
+	errors  [numOpKinds]int64
+	votes   int64
+	latency [numOpKinds][]int64 // ns
+}
+
+func run(cfg config) (*report, error) {
+	sc, err := findScenario(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Sessions <= 0 || cfg.Workers <= 0 || cfg.Items <= 0 || cfg.Batch <= 0 {
+		return nil, fmt.Errorf("sessions, workers, items and batch must be positive")
+	}
+	w := workload{Scenario: sc, Seed: cfg.Seed, Sessions: cfg.Sessions, Items: cfg.Items, Batch: cfg.Batch}
+
+	var d driver
+	if cfg.Target != "" {
+		d, err = newHTTPDriver(cfg, sc.Windowed)
+	} else {
+		d, err = newInprocDriver(cfg, sc.Windowed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer d.close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+
+	// Watch subscribers (outside the measured op stream).
+	var watchEvents atomic.Int64
+	watchers := 0
+	var watchWG sync.WaitGroup
+	if sc.Watch {
+		watchers = cfg.Watchers
+		if watchers <= 0 {
+			watchers = cfg.Sessions
+		}
+		for i := 0; i < watchers; i++ {
+			watchWG.Add(1)
+			go func(i int) {
+				defer watchWG.Done()
+				_ = d.watch(ctx, i%cfg.Sessions, &watchEvents)
+			}(i)
+		}
+	}
+
+	// Open-loop pacing: each worker issues at Rate/Workers ops/s.
+	var tickEvery time.Duration
+	if cfg.Rate > 0 {
+		tickEvery = time.Duration(float64(time.Second) * float64(cfg.Workers) / cfg.Rate)
+	}
+
+	stats := make([]workerStats, cfg.Workers)
+	var mem0 runtime.MemStats
+	runtime.ReadMemStats(&mem0)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for wi := 0; wi < cfg.Workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			g := newOpGen(w, wi)
+			st := &stats[wi]
+			var tick *time.Ticker
+			if tickEvery > 0 {
+				tick = time.NewTicker(tickEvery)
+				defer tick.Stop()
+			}
+			for {
+				if tick != nil {
+					select {
+					case <-ctx.Done():
+						return
+					case <-tick.C:
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				o := g.Next()
+				t0 := time.Now()
+				err := d.do(ctx, o)
+				el := time.Since(t0)
+				st.count[o.Kind]++
+				st.latency[o.Kind] = append(st.latency[o.Kind], el.Nanoseconds())
+				if err != nil {
+					if ctx.Err() != nil {
+						return // shutdown race, not a workload error
+					}
+					st.errors[o.Kind]++
+				} else if o.Kind == opIngest {
+					st.votes += int64(len(o.Votes))
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	cancel()
+	watchWG.Wait()
+	var mem1 runtime.MemStats
+	runtime.ReadMemStats(&mem1)
+
+	// Merge.
+	rep := &report{
+		Tool:            "dqm-loadgen",
+		SchemaVersion:   1,
+		Scenario:        sc.Name,
+		Target:          "inprocess",
+		Seed:            cfg.Seed,
+		Sessions:        cfg.Sessions,
+		Workers:         cfg.Workers,
+		DurationSeconds: elapsed.Seconds(),
+		RateLimit:       cfg.Rate,
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Ops:             make(map[string]opReport),
+		WatchEvents:     watchEvents.Load(),
+		WatchSubs:       watchers,
+	}
+	if cfg.Target != "" {
+		rep.Target = cfg.Target
+	}
+	for k := opKind(0); k < numOpKinds; k++ {
+		var merged []int64
+		var count, errs int64
+		for wi := range stats {
+			count += stats[wi].count[k]
+			errs += stats[wi].errors[k]
+			merged = append(merged, stats[wi].latency[k]...)
+		}
+		if count == 0 {
+			continue
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		o := opReport{
+			Count:     count,
+			Errors:    errs,
+			OpsPerSec: float64(count) / elapsed.Seconds(),
+			Latency: latencyMS{
+				P50: pctMS(merged, 0.50),
+				P90: pctMS(merged, 0.90),
+				P99: pctMS(merged, 0.99),
+				Max: float64(merged[len(merged)-1]) / 1e6,
+			},
+		}
+		if k == opIngest {
+			for wi := range stats {
+				o.Votes += stats[wi].votes
+			}
+		}
+		rep.Ops[k.String()] = o
+		rep.TotalOps += count
+		rep.TotalErrors += errs
+	}
+	rep.OpsPerSec = float64(rep.TotalOps) / elapsed.Seconds()
+	if ing, ok := rep.Ops[opIngest.String()]; ok {
+		rep.VotesPerSec = float64(ing.Votes) / elapsed.Seconds()
+	}
+	if rep.TotalOps > 0 {
+		rep.AllocsPerOp = float64(mem1.Mallocs-mem0.Mallocs) / float64(rep.TotalOps)
+		rep.AllocKiBPerOp = float64(mem1.TotalAlloc-mem0.TotalAlloc) / float64(rep.TotalOps) / 1024
+	}
+	return rep, nil
+}
+
+// pctMS reads the p-quantile of sorted ns samples in milliseconds.
+func pctMS(sorted []int64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / 1e6
+}
+
+// sessionID names the k-th load session.
+func sessionID(k int) string { return fmt.Sprintf("load-%d", k) }
+
+// windowCfg is the window shape windowed scenarios use.
+func windowCfg() *dqm.WindowConfig {
+	return &dqm.WindowConfig{Size: 50, Stride: 25, DecayAlpha: 0.3}
+}
+
+// ---- in-process driver ----
+
+type inprocDriver struct {
+	eng  *dqm.Engine
+	sess []*dqm.Session
+}
+
+func newInprocDriver(cfg config, windowed bool) (*inprocDriver, error) {
+	var (
+		eng *dqm.Engine
+		err error
+	)
+	if cfg.DataDir != "" {
+		eng, err = dqm.OpenEngine(cfg.DataDir, dqm.EngineConfig{})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		eng = dqm.NewEngine(dqm.EngineConfig{})
+	}
+	d := &inprocDriver{eng: eng}
+	dcfg := dqm.Defaults()
+	if windowed {
+		dcfg.Window = windowCfg()
+	}
+	for k := 0; k < cfg.Sessions; k++ {
+		s, err := eng.CreateSession(sessionID(k), cfg.Items, dcfg)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		d.sess = append(d.sess, s)
+	}
+	return d, nil
+}
+
+func (d *inprocDriver) do(_ context.Context, o op) error {
+	s := d.sess[o.Session]
+	switch o.Kind {
+	case opIngest:
+		batch := make([]dqm.Vote, len(o.Votes))
+		for i, v := range o.Votes {
+			batch[i] = dqm.Vote{Item: v.Item, Worker: v.Worker, Dirty: v.Dirty}
+		}
+		return s.AppendVotes(batch, true)
+	case opPoll:
+		s.Estimates()
+		return nil
+	case opWindowPoll:
+		_, err := s.WindowEstimates(dqm.WindowCurrent)
+		return err
+	}
+	return fmt.Errorf("unknown op kind %v", o.Kind)
+}
+
+// watch polls the session's lock-free mutation version — the in-process
+// analogue of an SSE subscriber — and reads estimates on every advance.
+func (d *inprocDriver) watch(ctx context.Context, session int, events *atomic.Int64) error {
+	s := d.sess[session]
+	var cursor uint64
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-t.C:
+			if v := s.Version(); v != cursor {
+				s.Estimates()
+				cursor = v
+				events.Add(1)
+			}
+		}
+	}
+}
+
+func (d *inprocDriver) close() error { return d.eng.Close() }
+
+// ---- HTTP driver ----
+
+type httpDriver struct {
+	base     string
+	client   *http.Client
+	sessions int
+	batchBuf sync.Pool
+}
+
+func newHTTPDriver(cfg config, windowed bool) (*httpDriver, error) {
+	d := &httpDriver{
+		base: strings.TrimRight(cfg.Target, "/"),
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Workers * 2,
+				MaxIdleConnsPerHost: cfg.Workers * 2,
+			},
+		},
+		sessions: cfg.Sessions,
+	}
+	// Setup is bounded separately from the run: creating sessions against a
+	// dead target should fail fast, not hang.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for k := 0; k < cfg.Sessions; k++ {
+		body := map[string]any{"id": sessionID(k), "items": cfg.Items}
+		if windowed {
+			w := windowCfg()
+			body["config"] = map[string]any{"window": map[string]any{
+				"size": w.Size, "stride": w.Stride, "decay_alpha": w.DecayAlpha,
+			}}
+		}
+		status, err := d.postJSON(ctx, "/v1/sessions", body)
+		if err != nil {
+			return nil, fmt.Errorf("create %s: %w", sessionID(k), err)
+		}
+		// 409 = session survived a previous run (durable server); reuse it.
+		if status != http.StatusCreated && status != http.StatusConflict {
+			return nil, fmt.Errorf("create %s: HTTP %d", sessionID(k), status)
+		}
+	}
+	return d, nil
+}
+
+// postJSON posts one JSON body and drains the response. ctx bounds the
+// request so a stalled target cannot hang the run past its deadline.
+func (d *httpDriver) postJSON(ctx context.Context, path string, body any) (int, error) {
+	buf, ok := d.batchBuf.Get().(*strings.Builder)
+	if !ok {
+		buf = &strings.Builder{}
+	}
+	buf.Reset()
+	defer d.batchBuf.Put(buf)
+	if err := json.NewEncoder(buf).Encode(body); err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", d.base+path, strings.NewReader(buf.String()))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func (d *httpDriver) get(ctx context.Context, path string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", d.base+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func (d *httpDriver) do(ctx context.Context, o op) error {
+	id := sessionID(o.Session)
+	switch o.Kind {
+	case opIngest:
+		votes := make([]map[string]any, len(o.Votes))
+		for i, v := range o.Votes {
+			votes[i] = map[string]any{"item": v.Item, "worker": v.Worker, "dirty": v.Dirty}
+		}
+		status, err := d.postJSON(ctx, "/v1/sessions/"+id+"/votes", map[string]any{"votes": votes, "end_task": true})
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("ingest: HTTP %d", status)
+		}
+		return nil
+	case opPoll:
+		return d.expectOK(d.get(ctx, "/v1/sessions/"+id+"/estimates"))
+	case opWindowPoll:
+		return d.expectOK(d.get(ctx, "/v1/sessions/"+id+"/estimates?window=current"))
+	}
+	return fmt.Errorf("unknown op kind %v", o.Kind)
+}
+
+func (d *httpDriver) expectOK(status int, err error) error {
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("HTTP %d", status)
+	}
+	return nil
+}
+
+// watch subscribes to the SSE stream and counts `event: estimates` frames.
+func (d *httpDriver) watch(ctx context.Context, session int, events *atomic.Int64) error {
+	req, err := http.NewRequestWithContext(ctx, "GET",
+		d.base+"/v1/sessions/"+sessionID(session)+"/watch?min_interval=10ms", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("watch: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: estimates") {
+			events.Add(1)
+		}
+	}
+	return nil
+}
+
+func (d *httpDriver) close() error {
+	d.client.CloseIdleConnections()
+	return nil
+}

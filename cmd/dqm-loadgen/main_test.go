@@ -1,0 +1,252 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestOpGenDeterminism pins the loadgen contract: the op stream is a pure
+// function of (seed, worker, workload) — same seed, same stream; different
+// seed or worker, different stream.
+func TestOpGenDeterminism(t *testing.T) {
+	sc, err := findScenario("drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload{Scenario: sc, Seed: 42, Sessions: 8, Items: 1000, Batch: 10}
+	const n = 2000
+	gen := func(w workload, worker int) []op {
+		g := newOpGen(w, worker)
+		ops := make([]op, n)
+		for i := range ops {
+			ops[i] = g.Next()
+		}
+		return ops
+	}
+	a, b := gen(w, 0), gen(w, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (seed, worker) produced different op streams")
+	}
+	if reflect.DeepEqual(a, gen(w, 1)) {
+		t.Error("different workers produced identical op streams")
+	}
+	w2 := w
+	w2.Seed = 43
+	if reflect.DeepEqual(a, gen(w2, 0)) {
+		t.Error("different seeds produced identical op streams")
+	}
+
+	// The stream must exercise every op kind of the scenario, stay inside
+	// the session/item ranges, and follow the drift schedule.
+	var kinds [numOpKinds]int
+	tasks := 0
+	for _, o := range a {
+		kinds[o.Kind]++
+		if o.Session < 0 || o.Session >= w.Sessions {
+			t.Fatalf("op session %d out of range", o.Session)
+		}
+		if o.Kind == opIngest {
+			tasks++
+			for _, v := range o.Votes {
+				if v.Item < 0 || v.Item >= w.Items {
+					t.Fatalf("vote item %d out of range", v.Item)
+				}
+			}
+		}
+	}
+	for k := opKind(0); k < numOpKinds; k++ {
+		if kinds[k] == 0 {
+			t.Errorf("scenario drift generated no %v ops in %d", k, n)
+		}
+	}
+
+	// Dirty rate before the drift point ~5%, after ~30%.
+	rate := func(from, to int) float64 {
+		g := newOpGen(w, 0)
+		dirty, total := 0, 0
+		seen := 0
+		for seen < to {
+			o := g.Next()
+			if o.Kind != opIngest {
+				continue
+			}
+			if seen >= from {
+				for _, v := range o.Votes {
+					total++
+					if v.Dirty {
+						dirty++
+					}
+				}
+			}
+			seen++
+		}
+		return float64(dirty) / float64(total)
+	}
+	if early := rate(0, 150); early > 0.12 {
+		t.Errorf("pre-drift dirty rate = %.3f, want ~0.05", early)
+	}
+	if late := rate(driftAfterTasks+10, driftAfterTasks+160); late < 0.2 {
+		t.Errorf("post-drift dirty rate = %.3f, want ~0.30", late)
+	}
+}
+
+// TestRunInProcessWritesReport runs a short closed-loop in-process workload
+// and checks the report invariants CI gates on: ops flowed, zero errors,
+// throughput fields populated, JSON round-trips.
+func TestRunInProcessWritesReport(t *testing.T) {
+	rep, err := run(config{
+		Scenario: "mixed",
+		Sessions: 2,
+		Workers:  2,
+		Duration: 200 * time.Millisecond,
+		Items:    200,
+		Batch:    5,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOps == 0 {
+		t.Fatal("no ops executed")
+	}
+	if rep.TotalErrors != 0 {
+		t.Fatalf("%d errors in a clean in-process run:\n%s", rep.TotalErrors, rep.summary())
+	}
+	if rep.VotesPerSec <= 0 || rep.OpsPerSec <= 0 {
+		t.Errorf("throughput not populated: %+v", rep)
+	}
+	ing, ok := rep.Ops["ingest"]
+	if !ok || ing.Votes == 0 || ing.Latency.P50 <= 0 || ing.Latency.Max < ing.Latency.P99 {
+		t.Errorf("ingest op report malformed: %+v", ing)
+	}
+	if rep.Target != "inprocess" || rep.Scenario != "mixed" || rep.SchemaVersion != 1 {
+		t.Errorf("report header malformed: %+v", rep)
+	}
+
+	// Round-trip through the file format the CI gate parses.
+	path := filepath.Join(t.TempDir(), "BENCH_loadgen.json")
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	raw, _ := os.ReadFile(path)
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalOps != rep.TotalOps || back.Ops["ingest"].Votes != ing.Votes {
+		t.Error("report did not round-trip")
+	}
+}
+
+// TestRunWatchAndDriftScenarios smoke-runs the remaining in-process
+// scenarios: watch must deliver subscriber events, drift must serve windowed
+// reads without errors.
+func TestRunWatchAndDriftScenarios(t *testing.T) {
+	rep, err := run(config{
+		Scenario: "watch", Sessions: 2, Workers: 2, Watchers: 2,
+		Duration: 250 * time.Millisecond, Items: 100, Batch: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors != 0 {
+		t.Fatalf("watch scenario errors:\n%s", rep.summary())
+	}
+	if rep.WatchSubs != 2 || rep.WatchEvents == 0 {
+		t.Errorf("watch subscribers saw no events: %+v", rep)
+	}
+
+	rep, err = run(config{
+		Scenario: "drift", Sessions: 2, Workers: 2,
+		Duration: 250 * time.Millisecond, Items: 100, Batch: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors != 0 {
+		t.Fatalf("drift scenario errors:\n%s", rep.summary())
+	}
+	if _, ok := rep.Ops["window_poll"]; !ok {
+		t.Errorf("drift scenario made no windowed reads: %+v", rep.Ops)
+	}
+}
+
+// TestRunDurableInProcess exercises the journaled engine path.
+func TestRunDurableInProcess(t *testing.T) {
+	rep, err := run(config{
+		Scenario: "ingest", Sessions: 1, Workers: 1, DataDir: t.TempDir(),
+		Duration: 150 * time.Millisecond, Items: 100, Batch: 5, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors != 0 || rep.Ops["ingest"].Votes == 0 {
+		t.Fatalf("durable ingest run failed:\n%s", rep.summary())
+	}
+}
+
+// TestHTTPDriver drives the HTTP driver against a stub that speaks just
+// enough of the dqm-serve wire protocol, verifying paths and payloads (the
+// real server is covered by cmd/dqm-serve's own tests).
+func TestHTTPDriver(t *testing.T) {
+	var creates, ingests, polls, windowPolls int
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		creates++
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/votes", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Votes   []map[string]any `json:"votes"`
+			EndTask bool             `json:"end_task"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Votes) == 0 || !req.EndTask {
+			t.Errorf("bad ingest body: %v votes=%d", err, len(req.Votes))
+		}
+		ingests++
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/estimates", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("window") == "current" {
+			windowPolls++
+		} else {
+			polls++
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	d, err := newHTTPDriver(config{Target: hs.URL, Sessions: 2, Items: 50, Workers: 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.close()
+	if creates != 2 {
+		t.Fatalf("creates = %d, want 2", creates)
+	}
+	ops := []op{
+		{Kind: opIngest, Session: 0, Votes: []genVote{{Item: 1, Worker: 2, Dirty: true}}},
+		{Kind: opPoll, Session: 1},
+		{Kind: opWindowPoll, Session: 0},
+	}
+	for _, o := range ops {
+		if err := d.do(context.Background(), o); err != nil {
+			t.Fatalf("do(%v): %v", o.Kind, err)
+		}
+	}
+	if ingests != 1 || polls != 1 || windowPolls != 1 {
+		t.Errorf("stub saw ingests=%d polls=%d windowPolls=%d", ingests, polls, windowPolls)
+	}
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"fmt"
+
+	"dqm/internal/xrand"
+)
+
+// opKind is one request type in the workload mix.
+type opKind int
+
+const (
+	opIngest opKind = iota
+	opPoll
+	opWindowPoll
+	numOpKinds
+)
+
+// String names the op for the report JSON.
+func (k opKind) String() string {
+	switch k {
+	case opIngest:
+		return "ingest"
+	case opPoll:
+		return "poll"
+	case opWindowPoll:
+		return "window_poll"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// genVote is one deterministic generated vote.
+type genVote struct {
+	Item   int
+	Worker int
+	Dirty  bool
+}
+
+// op is one generated request: an ingest batch (ending one task) or an
+// estimate read against one session.
+type op struct {
+	Kind    opKind
+	Session int
+	Votes   []genVote
+}
+
+// scenario fixes the op mix. Weights are percentages summing to 100.
+type scenario struct {
+	Name                    string
+	Ingest, Poll, WindowPoll int
+	// Windowed creates sessions with a window config (required for
+	// WindowPoll weight > 0 and for drift tracking).
+	Windowed bool
+	// Drift shifts the generated error rate from baseErrRate to
+	// driftErrRate once a worker has generated driftAfterTasks tasks — the
+	// windowed-estimation regime where the recent-window estimate diverges
+	// from the all-time one.
+	Drift bool
+	// Watch additionally runs subscriber goroutines (SSE against an HTTP
+	// target, version-polling in-process) outside the op stream.
+	Watch bool
+}
+
+// scenarios are the built-in workload shapes. Deterministic: the op stream of
+// a scenario is a pure function of (seed, worker index, workload config).
+var scenarios = []scenario{
+	{Name: "ingest", Ingest: 100},
+	{Name: "poll", Ingest: 10, Poll: 90},
+	{Name: "mixed", Ingest: 70, Poll: 30},
+	{Name: "watch", Ingest: 90, Poll: 10, Watch: true},
+	{Name: "drift", Ingest: 80, Poll: 10, WindowPoll: 10, Windowed: true, Drift: true},
+}
+
+// findScenario resolves a scenario by name.
+func findScenario(name string) (scenario, error) {
+	for _, s := range scenarios {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		names[i] = s.Name
+	}
+	return scenario{}, fmt.Errorf("unknown scenario %q (want one of %v)", name, names)
+}
+
+const (
+	baseErrRate     = 0.05
+	driftErrRate    = 0.30
+	driftAfterTasks = 200
+	crowdWorkers    = 25
+)
+
+// workload parameterizes generation.
+type workload struct {
+	Scenario scenario
+	Seed     uint64
+	Sessions int
+	Items    int
+	Batch    int
+}
+
+// opGen deterministically generates one worker's op stream. Two opGens built
+// from the same (workload, worker) produce identical streams — the loadgen
+// determinism contract, pinned by TestOpGenDeterminism.
+type opGen struct {
+	w     workload
+	rng   *xrand.RNG
+	tasks int // ingest tasks generated so far, drives the drift schedule
+}
+
+// newOpGen derives the worker's RNG from the workload seed by label, so
+// workers can be added without perturbing each other's streams.
+func newOpGen(w workload, worker int) *opGen {
+	return &opGen{w: w, rng: xrand.New(w.Seed).SplitNamed(fmt.Sprintf("loadgen-worker-%d", worker))}
+}
+
+// Next generates the next op.
+func (g *opGen) Next() op {
+	sc := g.w.Scenario
+	o := op{Session: g.rng.IntN(g.w.Sessions)}
+	switch p := g.rng.IntN(100); {
+	case p < sc.Ingest:
+		o.Kind = opIngest
+		rate := baseErrRate
+		if sc.Drift && g.tasks >= driftAfterTasks {
+			rate = driftErrRate
+		}
+		o.Votes = make([]genVote, g.w.Batch)
+		for i := range o.Votes {
+			o.Votes[i] = genVote{
+				Item:   g.rng.IntN(g.w.Items),
+				Worker: g.rng.IntN(crowdWorkers),
+				Dirty:  g.rng.Bernoulli(rate),
+			}
+		}
+		g.tasks++
+	case p < sc.Ingest+sc.Poll:
+		o.Kind = opPoll
+	default:
+		o.Kind = opWindowPoll
+	}
+	return o
+}

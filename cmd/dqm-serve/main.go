@@ -7,6 +7,7 @@
 //
 //	dqm-serve [-addr :8334] [-shards 32] [-max-sessions 0] [-max-batch 100000]
 //	          [-data-dir DIR] [-fsync batch|always|never] [-fsync-interval 100ms]
+//	          [-pprof] [-log-stats-interval 30s]
 //
 // With -data-dir the engine is durable: every session write-ahead-journals
 // its votes under DIR, all journaled sessions are recovered on boot with
@@ -19,7 +20,11 @@
 //
 // Endpoints (JSON request/response bodies):
 //
-//	GET    /healthz                        liveness + session count
+//	GET    /healthz                        liveness + operational state (sessions,
+//	                                       uptime, data dir, fsync policy)
+//	GET    /metrics                        Prometheus text exposition (engine,
+//	                                       WAL and HTTP instruments)
+//	GET    /debug/pprof/                   runtime profiles (with -pprof)
 //	GET    /v1/estimators                  registered estimator names
 //	POST   /v1/sessions                    create a session
 //	GET    /v1/sessions                    list session ids
@@ -70,6 +75,7 @@ import (
 	"time"
 
 	"dqm"
+	"dqm/internal/metrics"
 )
 
 func main() {
@@ -85,6 +91,8 @@ func main() {
 		fsyncMode   = fs.String("fsync", "batch", "journal fsync policy: batch, always or never")
 		fsyncEvery  = fs.Duration("fsync-interval", 100*time.Millisecond, "max fsync staleness under -fsync batch")
 		drainWait   = fs.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline")
+		enablePprof = fs.Bool("pprof", false, "expose /debug/pprof/ runtime profiles")
+		statsEvery  = fs.Duration("log-stats-interval", 0, "log a one-line stats summary at this interval (0 = off)")
 	)
 	fs.Parse(os.Args[1:])
 
@@ -101,6 +109,8 @@ func main() {
 		DataDir:          *dataDir,
 		Fsync:            fsync,
 		FsyncInterval:    *fsyncEvery,
+		EnablePprof:      *enablePprof,
+		LogStatsInterval: *statsEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -181,6 +191,11 @@ type serverConfig struct {
 	// Fsync and FsyncInterval tune the journal flush policy under DataDir.
 	Fsync         dqm.FsyncPolicy
 	FsyncInterval time.Duration
+	// EnablePprof exposes /debug/pprof/ runtime profiles.
+	EnablePprof bool
+	// LogStatsInterval, when positive, logs a one-line operational summary
+	// (sessions, ingest rate, cache hit ratio, subscribers) at this interval.
+	LogStatsInterval time.Duration
 }
 
 // server is the HTTP front of one dqm.Engine. Snapshots live server-side,
@@ -196,6 +211,14 @@ type server struct {
 	snapMu  sync.Mutex
 	snaps   map[string][]namedSnapshot
 	snapSeq atomic.Int64
+
+	// Observability plane (see observability.go).
+	started     time.Time
+	reg         *metrics.Registry
+	watchers    *metrics.Gauge
+	inflight    *metrics.Gauge
+	reqCounters sync.Map // "route:code" -> *metrics.Counter
+	stats       *statsLogger
 }
 
 type namedSnapshot struct {
@@ -250,27 +273,34 @@ func newServer(cfg serverConfig) (*server, error) {
 			}
 		}
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/estimators", s.handleEstimators)
-	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
-	s.mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
-	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionInfo)
-	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/votes", s.handleAppendVotes)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/estimates", s.handleEstimates)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/watch", s.handleWatch)
-	s.mux.HandleFunc("POST /v1/estimates:batch", s.handleBatchEstimates)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/snapshots", s.handleCreateSnapshot)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/snapshots", s.handleListSnapshots)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/restore", s.handleRestore)
+	s.setupObservability()
+	s.route("GET /healthz", "healthz", s.handleHealth)
+	s.route("GET /v1/estimators", "estimators", s.handleEstimators)
+	s.route("POST /v1/sessions", "create_session", s.handleCreateSession)
+	s.route("GET /v1/sessions", "list_sessions", s.handleListSessions)
+	s.route("GET /v1/sessions/{id}", "session_info", s.handleSessionInfo)
+	s.route("DELETE /v1/sessions/{id}", "delete_session", s.handleDeleteSession)
+	s.route("POST /v1/sessions/{id}/votes", "votes", s.handleAppendVotes)
+	s.route("GET /v1/sessions/{id}/estimates", "estimates", s.handleEstimates)
+	s.route("GET /v1/sessions/{id}/watch", "watch", s.handleWatch)
+	s.route("POST /v1/estimates:batch", "batch_estimates", s.handleBatchEstimates)
+	s.route("POST /v1/sessions/{id}/snapshots", "create_snapshot", s.handleCreateSnapshot)
+	s.route("GET /v1/sessions/{id}/snapshots", "list_snapshots", s.handleListSnapshots)
+	s.route("POST /v1/sessions/{id}/restore", "restore", s.handleRestore)
+	if cfg.LogStatsInterval > 0 {
+		s.stats = s.startStatsLogger(cfg.LogStatsInterval)
+	}
 	return s, nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close flushes a final checkpoint of every live session and closes the
-// engine's journals (no-op for in-memory engines).
-func (s *server) Close() error { return s.engine.Close() }
+// Close stops the stats logger, then flushes a final checkpoint of every live
+// session and closes the engine's journals (no-op for in-memory engines).
+func (s *server) Close() error {
+	s.stats.Stop()
+	return s.engine.Close()
+}
 
 // dropSnapshots releases every server-side snapshot of a session.
 func (s *server) dropSnapshots(id string) {
@@ -324,12 +354,22 @@ func (s *server) session(w http.ResponseWriter, r *http.Request) (*dqm.Session, 
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"sessions":  s.engine.NumSessions(),
-		"evictions": s.engine.Evictions(),
-		"durable":   s.engine.Durable(),
-	})
+	// Probes and dashboards read operational state here without scraping
+	// /metrics: how long the process has been up, where (and how durably) it
+	// persists, and how loaded it is.
+	health := map[string]any{
+		"status":            "ok",
+		"sessions":          s.engine.NumSessions(),
+		"evictions":         s.engine.Evictions(),
+		"durable":           s.engine.Durable(),
+		"uptime_seconds":    int64(time.Since(s.started).Seconds()),
+		"watch_subscribers": s.watchers.Value(),
+	}
+	if s.engine.Durable() {
+		health["data_dir"] = s.cfg.DataDir
+		health["fsync"] = s.cfg.Fsync.String()
+	}
+	writeJSON(w, http.StatusOK, health)
 }
 
 func (s *server) handleEstimators(w http.ResponseWriter, _ *http.Request) {
@@ -805,6 +845,8 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	// Flush the headers immediately: a subscriber to an idle session must see
 	// the stream open now, not at the first event or heartbeat.
 	fl.Flush()
+	s.watchers.Inc()
+	defer s.watchers.Dec()
 
 	const heartbeat = 15 * time.Second
 	id := sess.ID()

@@ -1,0 +1,283 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scrape GETs /metrics and returns the exposition body.
+func scrape(t *testing.T, srv http.Handler) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	return rec.Body.String()
+}
+
+// TestMetricsEndpointExposition drives real traffic and then validates the
+// scrape: every line must be well-formed Prometheus text format, and the
+// engine, WAL (on a durable server), HTTP and serve families must be present.
+func TestMetricsEndpointExposition(t *testing.T) {
+	srv := mustServer(t, serverConfig{DataDir: t.TempDir()})
+	defer srv.Close()
+
+	do(t, srv, "POST", "/v1/sessions", map[string]any{"id": "m", "items": 50}, http.StatusCreated)
+	votes := []map[string]any{}
+	for i := 0; i < 10; i++ {
+		votes = append(votes, map[string]any{"item": i, "worker": 1, "dirty": i%3 == 0})
+	}
+	do(t, srv, "POST", "/v1/sessions/m/votes", map[string]any{"votes": votes, "end_task": true}, http.StatusOK)
+	do(t, srv, "GET", "/v1/sessions/m/estimates", nil, http.StatusOK)
+	do(t, srv, "GET", "/v1/sessions/m/estimates", nil, http.StatusOK)
+	do(t, srv, "GET", "/healthz", nil, http.StatusOK)
+
+	body := scrape(t, srv)
+
+	// Families the acceptance criteria name: engine + WAL + HTTP coverage.
+	for _, name := range []string{
+		"dqm_engine_votes_total",
+		"dqm_engine_tasks_total",
+		"dqm_engine_estimate_cache_hits_total",
+		"dqm_engine_estimate_cache_misses_total",
+		"dqm_wal_append_frames_total",
+		"dqm_wal_append_seconds_bucket",
+		"dqm_wal_fsync_seconds_bucket",
+		"dqm_http_requests_total",
+		"dqm_http_request_seconds_bucket",
+		"dqm_serve_sessions",
+		"dqm_serve_uptime_seconds",
+		"dqm_serve_watch_subscribers",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("scrape missing %s", name)
+		}
+	}
+	// Route/code labels from the traffic above.
+	for _, series := range []string{
+		`dqm_http_requests_total{code="200",route="estimates"} 2`,
+		`dqm_http_requests_total{code="201",route="create_session"} 1`,
+		`dqm_http_request_seconds_bucket{route="votes",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("scrape missing series %q in:\n%s", series, body)
+		}
+	}
+
+	// Every non-comment line must be `name{labels} value` with a numeric
+	// value — the format a Prometheus scraper will accept.
+	lineRE := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+	sc := bufio.NewScanner(strings.NewReader(body))
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !lineRE.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+		n++
+	}
+	if n < 30 {
+		t.Errorf("suspiciously small scrape: %d series lines", n)
+	}
+}
+
+// TestHealthzOperationalState pins the satellite fix: healthz must report
+// uptime, and on a durable server the data dir and fsync policy.
+func TestHealthzOperationalState(t *testing.T) {
+	dir := t.TempDir()
+	srv := mustServer(t, serverConfig{DataDir: dir, Fsync: 1 /* always */})
+	defer srv.Close()
+	h := do(t, srv, "GET", "/healthz", nil, http.StatusOK)
+	if h["durable"] != true {
+		t.Errorf("durable = %v", h["durable"])
+	}
+	if h["data_dir"] != dir {
+		t.Errorf("data_dir = %v, want %v", h["data_dir"], dir)
+	}
+	if h["fsync"] != "always" {
+		t.Errorf("fsync = %v, want always", h["fsync"])
+	}
+	if _, ok := h["uptime_seconds"].(float64); !ok {
+		t.Errorf("uptime_seconds missing or not a number: %v", h["uptime_seconds"])
+	}
+	if _, ok := h["watch_subscribers"].(float64); !ok {
+		t.Errorf("watch_subscribers missing: %v", h["watch_subscribers"])
+	}
+
+	// In-memory servers must not advertise a data dir or fsync policy.
+	mem := mustServer(t, serverConfig{})
+	h = do(t, mem, "GET", "/healthz", nil, http.StatusOK)
+	if _, ok := h["data_dir"]; ok {
+		t.Errorf("in-memory healthz advertises data_dir: %v", h)
+	}
+}
+
+// TestMetricsScrapeDuringIngestAndWatch is the -race check the issue asks
+// for: concurrent vote ingest, a live SSE watch subscriber, estimate polling
+// and /metrics scrapes must not race anywhere in the instrumentation.
+func TestMetricsScrapeDuringIngestAndWatch(t *testing.T) {
+	srv := mustServer(t, serverConfig{WatchMinInterval: 5 * time.Millisecond})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	do(t, srv, "POST", "/v1/sessions", map[string]any{"id": "race", "items": 100}, http.StatusCreated)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// SSE subscriber for the whole test.
+	watchOpen := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(hs.URL + "/v1/sessions/race/watch")
+		if err != nil {
+			t.Error(err)
+			close(watchOpen)
+			return
+		}
+		defer resp.Body.Close()
+		close(watchOpen)
+		br := bufio.NewReader(resp.Body)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Reads unblock when the test closes client connections below.
+			if _, err := br.ReadString('\n'); err != nil {
+				return
+			}
+		}
+	}()
+	<-watchOpen
+
+	// Ingest.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			body := fmt.Sprintf(`{"votes":[{"item":%d,"worker":%d,"dirty":%v}],"end_task":true}`, i%100, i%7, i%3 == 0)
+			resp, err := http.Post(hs.URL+"/v1/sessions/race/votes", "application/json", strings.NewReader(body))
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+		}
+	}()
+
+	// Estimate pollers + scrapers.
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/v1/sessions/race/estimates", "/metrics", "/healthz"} {
+					resp, err := http.Get(hs.URL + path)
+					if err != nil {
+						return
+					}
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	hs.CloseClientConnections()
+	wg.Wait()
+
+	if !strings.Contains(scrape(t, srv), `dqm_http_requests_total{code="200",route="votes"}`) {
+		t.Error("no instrumented vote requests recorded")
+	}
+}
+
+// TestWatchSubscriberGauge: the gauge rises while a stream is open and falls
+// back when it disconnects.
+func TestWatchSubscriberGauge(t *testing.T) {
+	srv := mustServer(t, serverConfig{WatchMinInterval: 5 * time.Millisecond})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	do(t, srv, "POST", "/v1/sessions", map[string]any{"id": "g", "items": 10}, http.StatusCreated)
+
+	resp, err := http.Get(hs.URL + "/v1/sessions/g/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor := func(want int64) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for srv.watchers.Value() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("watch_subscribers = %d, want %d", srv.watchers.Value(), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor(1)
+	resp.Body.Close()
+	waitFor(0)
+}
+
+// TestPprofGated: /debug/pprof/ is 404 by default and served with EnablePprof.
+func TestPprofGated(t *testing.T) {
+	off := mustServer(t, serverConfig{})
+	rec := httptest.NewRecorder()
+	off.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("pprof without -pprof = %d, want 404", rec.Code)
+	}
+	on := mustServer(t, serverConfig{EnablePprof: true})
+	rec = httptest.NewRecorder()
+	on.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof with -pprof = %d, want 200", rec.Code)
+	}
+}
+
+// TestStatsLoggerStops: the periodic stats logger starts with the config knob
+// and Close stops it (idempotently, including on servers that never started
+// one).
+func TestStatsLoggerStops(t *testing.T) {
+	srv := mustServer(t, serverConfig{LogStatsInterval: 10 * time.Millisecond})
+	if srv.stats == nil {
+		t.Fatal("stats logger not started")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil { // double Close must not hang or panic
+		t.Fatal(err)
+	}
+	// And a server without the knob: Close on a nil logger is a no-op.
+	if err := mustServer(t, serverConfig{}).Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -345,6 +345,9 @@ const (
 	FsyncNever
 )
 
+// String returns the policy's flag spelling ("batch", "always", "never").
+func (p FsyncPolicy) String() string { return wal.FsyncPolicy(p).String() }
+
 // EngineConfig parameterizes an Engine.
 type EngineConfig struct {
 	// Shards is the number of independently locked session-table shards

@@ -295,6 +295,7 @@ func (e *Engine) recoverSession(id string) (*Session, error) {
 	// shared yet, but keep the invariant: version reflects applied state).
 	s.version.Store(s.suite.Version())
 	s.journal = j
+	metricSessionsRecovered.Inc()
 	return s, nil
 }
 
@@ -387,6 +388,7 @@ func (e *Engine) Create(id string, n int, cfg SessionConfig) (*Session, error) {
 	sh.sessions[id] = s
 	sh.mu.Unlock()
 	e.count.Add(1)
+	metricSessionsCreated.Inc()
 	return s, nil
 }
 
@@ -421,6 +423,7 @@ func (e *Engine) evictLRU(keep string) (string, bool) {
 	if s, ok := e.detach(victim); ok {
 		s.closeJournal()
 		e.evictions.Add(1)
+		metricEvictions.Inc()
 		return victim, true
 	}
 	return "", false
@@ -493,6 +496,7 @@ func (e *Engine) Load(id string) (*Session, error) {
 	sh.sessions[id] = s
 	sh.mu.Unlock()
 	e.count.Add(1)
+	metricSessionLoads.Inc()
 	return s, nil
 }
 
@@ -590,7 +594,13 @@ func (e *Engine) Delete(id string) bool {
 		// Unconditional: a directory without meta.json (aborted create) must
 		// still be deletable even though Exists/Load would not see it.
 		removed, _ := e.store.Delete(id)
+		if ok || removed {
+			metricSessionsDeleted.Inc()
+		}
 		return ok || removed
+	}
+	if ok {
+		metricSessionsDeleted.Inc()
 	}
 	return ok
 }

@@ -1,0 +1,41 @@
+package engine
+
+import "dqm/internal/metrics"
+
+// Engine-plane instruments, registered on the shared Default registry and
+// cumulative across every engine in the process (dqm-serve runs one; tests
+// may run many — counters only ever add, so that composes). Per-engine state
+// such as the live-session count is exposed by the serving layer as a gauge
+// over Engine.Len instead, where one engine's identity is known.
+//
+// Everything incremented on the ingest or read hot path is a bare atomic
+// add: the 0-alloc guarantees of Append and the cached Estimates read are
+// load-bearing (see BenchmarkSessionIngest / BenchmarkEstimatesCached).
+var (
+	metricVotes = metrics.Default.Counter("dqm_engine_votes_total",
+		"Votes ingested across all sessions (live and recovery replay are not double-counted; replay does not increment).")
+	metricBatches = metrics.Default.Counter("dqm_engine_append_batches_total",
+		"Ingest batches applied (one engine Append call each).")
+	metricTasks = metrics.Default.Counter("dqm_engine_tasks_total",
+		"Task boundaries marked across all sessions.")
+	metricEstimateHits = metrics.Default.Counter("dqm_engine_estimate_cache_hits_total",
+		"Estimate reads served lock-free from the version-guarded cache.")
+	metricEstimateMisses = metrics.Default.Counter("dqm_engine_estimate_cache_misses_total",
+		"Estimate reads that recomputed under the session mutex (first read after a mutation).")
+	metricSessionsCreated = metrics.Default.Counter("dqm_engine_sessions_created_total",
+		"Sessions created (excluding recovery and revival).")
+	metricSessionsRecovered = metrics.Default.Counter("dqm_engine_sessions_recovered_total",
+		"Sessions rebuilt from their journals (boot recovery and on-demand revival).")
+	metricSessionLoads = metrics.Default.Counter("dqm_engine_session_loads_total",
+		"Evicted-or-cold sessions revived from disk via Load/GetOrLoad.")
+	metricEvictions = metrics.Default.Counter("dqm_engine_evictions_total",
+		"Sessions dropped from memory by the MaxSessions LRU policy.")
+	metricSessionsDeleted = metrics.Default.Counter("dqm_engine_sessions_deleted_total",
+		"Sessions removed by explicit Delete.")
+	metricResets = metrics.Default.Counter("dqm_engine_resets_total",
+		"Session resets applied.")
+	metricSnapshots = metrics.Default.Counter("dqm_engine_snapshots_total",
+		"Point-in-time session snapshots taken.")
+	metricRestores = metrics.Default.Counter("dqm_engine_restores_total",
+		"Session restores applied from snapshots.")
+)

@@ -209,6 +209,7 @@ func (s *Session) Record(item, worker int, dirty bool) {
 	s.applyVote(v)
 	s.bump()
 	s.touch()
+	metricVotes.Inc()
 }
 
 // Append ingests a batch of votes under one lock acquisition and, when
@@ -237,9 +238,12 @@ func (s *Session) Append(batch []votes.Vote, endTask bool) error {
 	}
 	if endTask {
 		s.applyEndTask()
+		metricTasks.Inc()
 	}
 	s.bump()
 	s.touch()
+	metricBatches.Inc()
+	metricVotes.Add(uint64(len(batch)))
 	return nil
 }
 
@@ -257,6 +261,7 @@ func (s *Session) EndTask() {
 	s.applyEndTask()
 	s.bump()
 	s.touch()
+	metricTasks.Inc()
 }
 
 // Tasks returns the number of completed tasks.
@@ -276,11 +281,13 @@ func (s *Session) Estimates() estimator.Estimates {
 	v := s.version.Load()
 	if c := s.cached.Load(); c != nil && c.version == v {
 		s.touch()
+		metricEstimateHits.Inc()
 		return c.est.Clone()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.touch()
+	metricEstimateMisses.Inc()
 	return s.estimatesLocked()
 }
 
@@ -392,6 +399,7 @@ func (s *Session) Reset() {
 	s.tasks = 0
 	s.bump()
 	s.touch()
+	metricResets.Inc()
 }
 
 // Durable reports whether the session journals its mutations.
@@ -514,6 +522,7 @@ func (s *Session) Snapshot() *Snapshot {
 	if s.ring != nil {
 		sn.ring = s.ring.Clone()
 	}
+	metricSnapshots.Inc()
 	return sn
 }
 
@@ -558,6 +567,7 @@ func (s *Session) Restore(sn *Snapshot) error {
 	// treat version equality as state equality.
 	s.bump()
 	s.touch()
+	metricRestores.Inc()
 	return nil
 }
 

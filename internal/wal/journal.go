@@ -135,6 +135,11 @@ const flushChunk = 64 << 10
 // commit appends one frame to the group-commit buffer and applies the fsync
 // policy, rotating and compacting when thresholds are crossed.
 func (j *Journal) commit(payload []byte) error {
+	start := time.Now()
+	defer func() {
+		metricFrames.Inc()
+		metricAppendSeconds.ObserveSince(start)
+	}()
 	j.wbuf = appendFrame(j.wbuf, payload)
 	j.dirty = true
 	if len(j.wbuf) >= flushChunk {
@@ -181,10 +186,12 @@ func (j *Journal) flush() error {
 	n, err := j.f.Write(j.wbuf)
 	if err != nil {
 		j.err = fmt.Errorf("wal: append: %w", err)
+		metricWriteErrors.Inc()
 		return j.err
 	}
 	j.size += int64(n)
 	j.wbuf = j.wbuf[:0]
+	metricFlushedBytes.Add(uint64(n))
 	return nil
 }
 
@@ -197,8 +204,13 @@ func (j *Journal) Sync() error {
 		return err
 	}
 	if j.dirty {
-		if err := j.f.Sync(); err != nil {
+		start := time.Now()
+		err := j.f.Sync()
+		metricFsyncs.Inc()
+		metricFsyncSeconds.ObserveSince(start)
+		if err != nil {
 			j.err = fmt.Errorf("wal: fsync: %w", err)
+			metricWriteErrors.Inc()
 			return j.err
 		}
 		j.dirty = false
@@ -224,6 +236,7 @@ func (j *Journal) rotate() error {
 	}
 	j.f, j.size = f, size
 	j.seq++
+	metricRotations.Inc()
 	return nil
 }
 
@@ -241,6 +254,7 @@ func (j *Journal) compact() error {
 	if through == 0 || through == j.snapSeq {
 		return nil
 	}
+	start := time.Now()
 	body := make([]byte, 0, j.snapBytes+j.sealedBytes)
 	appendHooks := Hooks{
 		Vote: func(item, worker int, dirty bool) error {
@@ -302,6 +316,8 @@ func (j *Journal) compact() error {
 	j.snapSeq = through
 	j.snapBytes = fi.Size()
 	j.sealedBytes = 0
+	metricCompactions.Inc()
+	metricCompactionSeconds.ObserveSince(start)
 	return nil
 }
 

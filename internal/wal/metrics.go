@@ -1,0 +1,29 @@
+package wal
+
+import "dqm/internal/metrics"
+
+// WAL-plane instruments on the shared Default registry, cumulative across
+// every journal in the process. The append path is a hot path with a 0-alloc
+// guarantee (BenchmarkJournalAppend): everything recorded per frame is an
+// atomic add or a fixed-bucket histogram observation, both allocation-free.
+var (
+	metricFrames = metrics.Default.Counter("dqm_wal_append_frames_total",
+		"Frames committed to journals (one group-commit unit — engine batch, task end or reset — each).")
+	metricAppendSeconds = metrics.Default.Histogram("dqm_wal_append_seconds",
+		"Journal append latency per frame, including any flush, fsync, rotation or compaction it triggered.",
+		metrics.DurationBuckets)
+	metricFlushedBytes = metrics.Default.Counter("dqm_wal_flushed_bytes_total",
+		"Journal bytes handed to the OS (user-space group-commit buffer drains).")
+	metricFsyncs = metrics.Default.Counter("dqm_wal_fsyncs_total",
+		"fsync calls on active segments.")
+	metricFsyncSeconds = metrics.Default.Histogram("dqm_wal_fsync_seconds",
+		"fsync latency on active segments.", metrics.DurationBuckets)
+	metricRotations = metrics.Default.Counter("dqm_wal_segment_rotations_total",
+		"Active segments sealed and replaced (SegmentBytes threshold crossings).")
+	metricCompactions = metrics.Default.Counter("dqm_wal_compactions_total",
+		"Snapshot compactions completed (sealed segments + old snapshot folded into one).")
+	metricCompactionSeconds = metrics.Default.Histogram("dqm_wal_compaction_seconds",
+		"Snapshot compaction wall time.", metrics.DurationBuckets)
+	metricWriteErrors = metrics.Default.Counter("dqm_wal_write_errors_total",
+		"Write/fsync failures that put a journal into its sticky error state.")
+)
