@@ -43,6 +43,7 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -59,9 +60,15 @@ type benchResult struct {
 
 // benchFile is the BENCH_baseline.json / BENCH_fresh.json schema.
 type benchFile struct {
-	SchemaVersion int                    `json:"schema_version"`
-	Note          string                 `json:"note,omitempty"`
-	Benchmarks    map[string]benchResult `json:"benchmarks"`
+	SchemaVersion int    `json:"schema_version"`
+	Note          string `json:"note,omitempty"`
+	// GoVersion is the toolchain that produced the numbers (runtime.Version()
+	// of this tool, which CI runs with the same Go as the bench binary). A
+	// baseline measured on a different Go release is compared with a warning:
+	// codegen changes between releases routinely move ns/op by more than
+	// noise, so version skew is the first thing to rule out on a gate failure.
+	GoVersion  string                 `json:"go_version,omitempty"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
 }
 
 func main() {
@@ -145,7 +152,7 @@ func stripProcs(name string) string {
 
 // parseBench reads `go test -bench` output into a benchFile.
 func parseBench(r io.Reader) (*benchFile, error) {
-	out := &benchFile{SchemaVersion: 1, Benchmarks: make(map[string]benchResult)}
+	out := &benchFile{SchemaVersion: 1, GoVersion: runtime.Version(), Benchmarks: make(map[string]benchResult)}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -199,6 +206,10 @@ func readBenchFile(path string) (*benchFile, error) {
 // compare gates fresh against base, logging one line per benchmark. It
 // returns false when any gate fails.
 func compare(base, fresh *benchFile, threshold float64, logf func(string, ...any)) bool {
+	if base.GoVersion != "" && fresh.GoVersion != "" && base.GoVersion != fresh.GoVersion {
+		logf("warn: baseline measured on %s, fresh run on %s — ns/op deltas may be toolchain codegen, not code; refresh the baseline to re-anchor",
+			base.GoVersion, fresh.GoVersion)
+	}
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)

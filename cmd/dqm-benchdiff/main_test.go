@@ -97,6 +97,22 @@ func TestCompareGates(t *testing.T) {
 	if pass, out := gateResult(t, base, fresh, 0.30); !pass {
 		t.Errorf("extra benchmark failed the gate:\n%s", out)
 	}
+
+	// Go-version skew warns (never gates) so toolchain codegen shifts are the
+	// first hypothesis on a threshold failure, not a mystery.
+	base.GoVersion, fresh.GoVersion = "go1.22.9", "go1.24.0"
+	if pass, out := gateResult(t, base, fresh, 0.30); !pass || !strings.Contains(out, "go1.22.9") || !strings.Contains(out, "go1.24.0") {
+		t.Errorf("version skew not warned (pass=%v):\n%s", pass, out)
+	}
+	// Same version, or a baseline predating the field: silent.
+	fresh.GoVersion = base.GoVersion
+	if _, out := gateResult(t, base, fresh, 0.30); strings.Contains(out, "toolchain") {
+		t.Errorf("same-version run warned:\n%s", out)
+	}
+	base.GoVersion = ""
+	if _, out := gateResult(t, base, fresh, 0.30); strings.Contains(out, "toolchain") {
+		t.Errorf("versionless baseline warned:\n%s", out)
+	}
 }
 
 func TestGateLoadgen(t *testing.T) {

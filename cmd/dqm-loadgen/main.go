@@ -18,11 +18,12 @@
 // across all workers (0 = closed loop: every worker issues its next op as
 // soon as the previous one returns).
 //
-// Scenarios (-scenario): ingest (100% vote ingest), poll (10/90
-// ingest/estimate-poll), mixed (70/30), watch (90/10 plus -watchers SSE
-// subscribers), drift (windowed sessions; the generated error rate jumps
-// 0.05→0.30 after 200 tasks per worker, the regime windowed estimation
-// exists for).
+// Scenarios (-scenario): ingest (100% JSON vote ingest), binary-ingest (100%
+// ingest in the binary DQMV encoding — the columnar fast path), binary-mixed
+// (70/30 binary-ingest/poll), poll (10/90 ingest/estimate-poll), mixed
+// (70/30), watch (90/10 plus -watchers SSE subscribers), drift (windowed
+// sessions; the generated error rate jumps 0.05→0.30 after 200 tasks per
+// worker, the regime windowed estimation exists for).
 //
 // Determinism: the op stream — sessions touched, batch contents, op order per
 // worker — is a pure function of (-seed, worker index, workload flags).
@@ -31,6 +32,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -46,6 +48,7 @@ import (
 	"time"
 
 	"dqm"
+	"dqm/internal/votelog"
 )
 
 type config struct {
@@ -67,7 +70,7 @@ func main() {
 	fs := flag.NewFlagSet("dqm-loadgen", flag.ExitOnError)
 	var cfg config
 	fs.StringVar(&cfg.Target, "target", "", "dqm-serve base URL (empty = drive the engine in-process)")
-	fs.StringVar(&cfg.Scenario, "scenario", "mixed", "workload scenario: ingest, poll, mixed, watch or drift")
+	fs.StringVar(&cfg.Scenario, "scenario", "mixed", "workload scenario: ingest, binary-ingest, binary-mixed, poll, mixed, watch or drift")
 	fs.IntVar(&cfg.Sessions, "sessions", 4, "concurrent sessions")
 	fs.IntVar(&cfg.Workers, "workers", 8, "concurrent load workers")
 	fs.DurationVar(&cfg.Duration, "duration", 5*time.Second, "measurement duration")
@@ -178,7 +181,7 @@ type driver interface {
 type workerStats struct {
 	count   [numOpKinds]int64
 	errors  [numOpKinds]int64
-	votes   int64
+	votes   [numOpKinds]int64 // per kind, so JSON and binary ingest report separately
 	latency [numOpKinds][]int64 // ns
 }
 
@@ -267,8 +270,8 @@ func run(cfg config) (*report, error) {
 						return // shutdown race, not a workload error
 					}
 					st.errors[o.Kind]++
-				} else if o.Kind == opIngest {
-					st.votes += int64(len(o.Votes))
+				} else if o.Kind == opIngest || o.Kind == opBinaryIngest {
+					st.votes[o.Kind] += int64(len(o.Votes))
 				}
 			}
 		}(wi)
@@ -323,19 +326,21 @@ func run(cfg config) (*report, error) {
 				Max: float64(merged[len(merged)-1]) / 1e6,
 			},
 		}
-		if k == opIngest {
-			for wi := range stats {
-				o.Votes += stats[wi].votes
-			}
+		for wi := range stats {
+			o.Votes += stats[wi].votes[k]
 		}
 		rep.Ops[k.String()] = o
 		rep.TotalOps += count
 		rep.TotalErrors += errs
 	}
 	rep.OpsPerSec = float64(rep.TotalOps) / elapsed.Seconds()
-	if ing, ok := rep.Ops[opIngest.String()]; ok {
-		rep.VotesPerSec = float64(ing.Votes) / elapsed.Seconds()
+	var totalVotes int64
+	for _, k := range []opKind{opIngest, opBinaryIngest} {
+		if ing, ok := rep.Ops[k.String()]; ok {
+			totalVotes += ing.Votes
+		}
 	}
+	rep.VotesPerSec = float64(totalVotes) / elapsed.Seconds()
 	if rep.TotalOps > 0 {
 		rep.AllocsPerOp = float64(mem1.Mallocs-mem0.Mallocs) / float64(rep.TotalOps)
 		rep.AllocKiBPerOp = float64(mem1.TotalAlloc-mem0.TotalAlloc) / float64(rep.TotalOps) / 1024
@@ -354,6 +359,18 @@ func pctMS(sorted []int64, p float64) float64 {
 
 // sessionID names the k-th load session.
 func sessionID(k int) string { return fmt.Sprintf("load-%d", k) }
+
+// encodeBinaryBatch renders one generated vote batch as a binary DQMV body
+// (one task: leading votes belong to task 0, the boundary lands at stream
+// end — the same end_task=true semantics as the JSON ingest op).
+func encodeBinaryBatch(vs []genVote) []byte {
+	body := make([]byte, 0, 5+4*len(vs))
+	body = append(body, votelog.BinaryMagic()...)
+	for _, v := range vs {
+		body = votelog.AppendBinaryVote(body, int32(v.Item), int32(v.Worker), v.Dirty)
+	}
+	return body
+}
 
 // windowCfg is the window shape windowed scenarios use.
 func windowCfg() *dqm.WindowConfig {
@@ -405,6 +422,9 @@ func (d *inprocDriver) do(_ context.Context, o op) error {
 			batch[i] = dqm.Vote{Item: v.Item, Worker: v.Worker, Dirty: v.Dirty}
 		}
 		return s.AppendVotes(batch, true)
+	case opBinaryIngest:
+		_, _, err := s.AppendDQMV(encodeBinaryBatch(o.Votes))
+		return err
 	case opPoll:
 		s.Estimates()
 		return nil
@@ -507,6 +527,21 @@ func (d *httpDriver) postJSON(ctx context.Context, path string, body any) (int, 
 	return resp.StatusCode, nil
 }
 
+// postBinary posts one binary DQMV body and drains the response.
+func (d *httpDriver) postBinary(ctx context.Context, path string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, "POST", d.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", votelog.ContentTypeDQMV)
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
 func (d *httpDriver) get(ctx context.Context, path string) (int, error) {
 	req, err := http.NewRequestWithContext(ctx, "GET", d.base+path, nil)
 	if err != nil {
@@ -534,6 +569,15 @@ func (d *httpDriver) do(ctx context.Context, o op) error {
 		}
 		if status != http.StatusOK {
 			return fmt.Errorf("ingest: HTTP %d", status)
+		}
+		return nil
+	case opBinaryIngest:
+		status, err := d.postBinary(ctx, "/v1/sessions/"+id+"/votes", encodeBinaryBatch(o.Votes))
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("binary ingest: HTTP %d", status)
 		}
 		return nil
 	case opPoll:

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -10,6 +12,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"dqm/internal/votelog"
 )
 
 // TestOpGenDeterminism pins the loadgen contract: the op stream is a pure
@@ -61,9 +65,16 @@ func TestOpGenDeterminism(t *testing.T) {
 			}
 		}
 	}
+	weights := map[opKind]int{
+		opIngest: sc.Ingest, opBinaryIngest: sc.BinaryIngest,
+		opPoll: sc.Poll, opWindowPoll: sc.WindowPoll,
+	}
 	for k := opKind(0); k < numOpKinds; k++ {
-		if kinds[k] == 0 {
+		if weights[k] > 0 && kinds[k] == 0 {
 			t.Errorf("scenario drift generated no %v ops in %d", k, n)
+		}
+		if weights[k] == 0 && kinds[k] != 0 {
+			t.Errorf("scenario drift generated %d unweighted %v ops", kinds[k], k)
 		}
 	}
 
@@ -182,6 +193,31 @@ func TestRunWatchAndDriftScenarios(t *testing.T) {
 	}
 }
 
+// TestRunBinaryIngestScenario smoke-runs the binary DQMV ingest path, both
+// in-memory and journaled (where binary batches ride the columnar WAL
+// record), checking the report carries the binary_ingest op.
+func TestRunBinaryIngestScenario(t *testing.T) {
+	for _, dataDir := range []string{"", t.TempDir()} {
+		rep, err := run(config{
+			Scenario: "binary-ingest", Sessions: 2, Workers: 2, DataDir: dataDir,
+			Duration: 150 * time.Millisecond, Items: 200, Batch: 5, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TotalErrors != 0 {
+			t.Fatalf("binary-ingest (dataDir=%q) errors:\n%s", dataDir, rep.summary())
+		}
+		bin, ok := rep.Ops["binary_ingest"]
+		if !ok || bin.Votes == 0 {
+			t.Fatalf("no binary_ingest ops reported (dataDir=%q): %+v", dataDir, rep.Ops)
+		}
+		if rep.VotesPerSec <= 0 {
+			t.Errorf("votes/s not populated from binary ingest: %+v", rep)
+		}
+	}
+}
+
 // TestRunDurableInProcess exercises the journaled engine path.
 func TestRunDurableInProcess(t *testing.T) {
 	rep, err := run(config{
@@ -200,13 +236,22 @@ func TestRunDurableInProcess(t *testing.T) {
 // enough of the dqm-serve wire protocol, verifying paths and payloads (the
 // real server is covered by cmd/dqm-serve's own tests).
 func TestHTTPDriver(t *testing.T) {
-	var creates, ingests, polls, windowPolls int
+	var creates, ingests, binaryIngests, polls, windowPolls int
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		creates++
 		w.WriteHeader(http.StatusCreated)
 	})
 	mux.HandleFunc("POST /v1/sessions/{id}/votes", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Content-Type") == votelog.ContentTypeDQMV {
+			body, err := io.ReadAll(r.Body)
+			if err != nil || !bytes.HasPrefix(body, votelog.BinaryMagic()) || len(body) <= 5 {
+				t.Errorf("bad binary ingest body: %v (%d bytes)", err, len(body))
+			}
+			binaryIngests++
+			w.WriteHeader(http.StatusOK)
+			return
+		}
 		var req struct {
 			Votes   []map[string]any `json:"votes"`
 			EndTask bool             `json:"end_task"`
@@ -238,6 +283,7 @@ func TestHTTPDriver(t *testing.T) {
 	}
 	ops := []op{
 		{Kind: opIngest, Session: 0, Votes: []genVote{{Item: 1, Worker: 2, Dirty: true}}},
+		{Kind: opBinaryIngest, Session: 1, Votes: []genVote{{Item: 3, Worker: 4, Dirty: false}}},
 		{Kind: opPoll, Session: 1},
 		{Kind: opWindowPoll, Session: 0},
 	}
@@ -246,7 +292,7 @@ func TestHTTPDriver(t *testing.T) {
 			t.Fatalf("do(%v): %v", o.Kind, err)
 		}
 	}
-	if ingests != 1 || polls != 1 || windowPolls != 1 {
-		t.Errorf("stub saw ingests=%d polls=%d windowPolls=%d", ingests, polls, windowPolls)
+	if ingests != 1 || binaryIngests != 1 || polls != 1 || windowPolls != 1 {
+		t.Errorf("stub saw ingests=%d binary=%d polls=%d windowPolls=%d", ingests, binaryIngests, polls, windowPolls)
 	}
 }

@@ -11,6 +11,7 @@ type opKind int
 
 const (
 	opIngest opKind = iota
+	opBinaryIngest
 	opPoll
 	opWindowPoll
 	numOpKinds
@@ -21,6 +22,8 @@ func (k opKind) String() string {
 	switch k {
 	case opIngest:
 		return "ingest"
+	case opBinaryIngest:
+		return "binary_ingest"
 	case opPoll:
 		return "poll"
 	case opWindowPoll:
@@ -47,8 +50,10 @@ type op struct {
 
 // scenario fixes the op mix. Weights are percentages summing to 100.
 type scenario struct {
-	Name                    string
-	Ingest, Poll, WindowPoll int
+	Name string
+	// Ingest posts JSON vote batches; BinaryIngest posts the same generated
+	// batches in the binary DQMV encoding (the columnar fast path).
+	Ingest, BinaryIngest, Poll, WindowPoll int
 	// Windowed creates sessions with a window config (required for
 	// WindowPoll weight > 0 and for drift tracking).
 	Windowed bool
@@ -66,6 +71,8 @@ type scenario struct {
 // a scenario is a pure function of (seed, worker index, workload config).
 var scenarios = []scenario{
 	{Name: "ingest", Ingest: 100},
+	{Name: "binary-ingest", BinaryIngest: 100},
+	{Name: "binary-mixed", BinaryIngest: 70, Poll: 30},
 	{Name: "poll", Ingest: 10, Poll: 90},
 	{Name: "mixed", Ingest: 70, Poll: 30},
 	{Name: "watch", Ingest: 90, Poll: 10, Watch: true},
@@ -124,23 +131,32 @@ func (g *opGen) Next() op {
 	switch p := g.rng.IntN(100); {
 	case p < sc.Ingest:
 		o.Kind = opIngest
-		rate := baseErrRate
-		if sc.Drift && g.tasks >= driftAfterTasks {
-			rate = driftErrRate
-		}
-		o.Votes = make([]genVote, g.w.Batch)
-		for i := range o.Votes {
-			o.Votes[i] = genVote{
-				Item:   g.rng.IntN(g.w.Items),
-				Worker: g.rng.IntN(crowdWorkers),
-				Dirty:  g.rng.Bernoulli(rate),
-			}
-		}
-		g.tasks++
-	case p < sc.Ingest+sc.Poll:
+		g.fillVotes(&o)
+	case p < sc.Ingest+sc.BinaryIngest:
+		o.Kind = opBinaryIngest
+		g.fillVotes(&o)
+	case p < sc.Ingest+sc.BinaryIngest+sc.Poll:
 		o.Kind = opPoll
 	default:
 		o.Kind = opWindowPoll
 	}
 	return o
+}
+
+// fillVotes generates one task's vote batch (shared by the JSON and binary
+// ingest kinds, so both carry identical vote streams for a given seed).
+func (g *opGen) fillVotes(o *op) {
+	rate := baseErrRate
+	if g.w.Scenario.Drift && g.tasks >= driftAfterTasks {
+		rate = driftErrRate
+	}
+	o.Votes = make([]genVote, g.w.Batch)
+	for i := range o.Votes {
+		o.Votes[i] = genVote{
+			Item:   g.rng.IntN(g.w.Items),
+			Worker: g.rng.IntN(crowdWorkers),
+			Dirty:  g.rng.Bernoulli(rate),
+		}
+	}
+	g.tasks++
 }

@@ -54,6 +54,8 @@ func TestMetricsEndpointExposition(t *testing.T) {
 		"dqm_wal_append_frames_total",
 		"dqm_wal_append_seconds_bucket",
 		"dqm_wal_fsync_seconds_bucket",
+		"dqm_wal_group_commit_sessions_bucket",
+		"dqm_wal_sync_waiters",
 		"dqm_http_requests_total",
 		"dqm_http_request_seconds_bucket",
 		"dqm_serve_sessions",

@@ -157,6 +157,7 @@ func (s *server) startStatsLogger(interval time.Duration) *statsLogger {
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		lastVotes, _ := metrics.Default.Value("dqm_engine_votes_total")
+		lastPasses, lastSessions, _ := metrics.Default.HistogramStats("dqm_wal_group_commit_sessions")
 		lastTick := time.Now()
 		for {
 			select {
@@ -172,10 +173,21 @@ func (s *server) startStatsLogger(interval time.Duration) *statsLogger {
 					hitPct = 100 * hits / (hits + misses)
 				}
 				rate := (votes - lastVotes) / now.Sub(lastTick).Seconds()
-				log.Printf("stats: sessions=%d votes=%.0f (+%.0f/s) tasks=%.0f cache_hit=%.1f%% watch=%d inflight=%d evictions=%d",
+				// Group-commit effectiveness over the interval: fsync passes
+				// and mean journals amortized per pass (only meaningful on a
+				// durable engine; both stay 0 otherwise).
+				passes, sessions, _ := metrics.Default.HistogramStats("dqm_wal_group_commit_sessions")
+				meanGC := 0.0
+				if d := passes - lastPasses; d > 0 {
+					meanGC = (sessions - lastSessions) / float64(d)
+				}
+				waiters, _ := metrics.Default.Value("dqm_wal_sync_waiters")
+				log.Printf("stats: sessions=%d votes=%.0f (+%.0f/s) tasks=%.0f cache_hit=%.1f%% watch=%d inflight=%d evictions=%d gc_passes=%d gc_mean=%.1f sync_waiters=%.0f",
 					s.engine.NumSessions(), votes, rate, tasks, hitPct,
-					s.watchers.Value(), s.inflight.Value(), s.engine.Evictions())
+					s.watchers.Value(), s.inflight.Value(), s.engine.Evictions(),
+					passes-lastPasses, meanGC, waiters)
 				lastVotes, lastTick = votes, now
+				lastPasses, lastSessions = passes, sessions
 			}
 		}
 	}()

@@ -62,6 +62,7 @@ import (
 	"dqm/internal/engine"
 	"dqm/internal/estimator"
 	"dqm/internal/switchstat"
+	"dqm/internal/votelog"
 	"dqm/internal/votes"
 	"dqm/internal/wal"
 	"dqm/internal/window"
@@ -525,6 +526,71 @@ func (s *Session) AppendVotes(batch []Vote, endTask bool) error {
 	}
 	return s.s.Append(vs, endTask)
 }
+
+// AppendDQMV ingests a complete binary vote log (the DQMV format of
+// internal/votelog: magic header, 'T' task records, 'V' vote records)
+// through the columnar fast path: each task's raw vote bytes are validated,
+// journaled verbatim as one columnar WAL record, and applied — no per-vote
+// decode into structs and no re-encode on the durability path. Task
+// boundaries follow the format's task-id changes plus one after the final
+// vote, exactly the boundaries the Entry/JSON path produces, so the
+// resulting estimates are identical to ingesting the same log vote by vote.
+// It returns the number of votes and task boundaries ingested. A malformed
+// stream or out-of-population item fails before anything is applied; a
+// journal error mid-log leaves the earlier tasks ingested (they are already
+// durable) and reports how far it got.
+func (s *Session) AppendDQMV(body []byte) (votesIngested, tasksEnded int, err error) {
+	blocks, err := votelog.SplitBinaryTasks(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i, b := range blocks {
+		endTask := i+1 == len(blocks) || blocks[i+1].Task != b.Task
+		n, err := s.s.AppendColumns(b.Raw, endTask)
+		if err != nil {
+			return votesIngested, tasksEnded, err
+		}
+		votesIngested += n
+		if endTask {
+			tasksEnded++
+		}
+	}
+	return votesIngested, tasksEnded, nil
+}
+
+// AppendColumns ingests one task's raw 'V'-record bytes (a
+// votelog.TaskBlock's Raw, no magic and no 'T' records) through the columnar
+// fast path, marking a task boundary after the batch when endTask is set. It
+// returns the number of votes applied. Callers splitting a DQMV stream
+// themselves (e.g. to report partial progress per task) use this; everyone
+// else wants AppendDQMV.
+func (s *Session) AppendColumns(raw []byte, endTask bool) (int, error) {
+	return s.s.AppendColumns(raw, endTask)
+}
+
+// AppendStagedVotes stages a batch of intra-task votes without taking the
+// session mutex: validation runs against the immutable population size and
+// the batch lands in a per-CPU-sharded staging buffer, so concurrent
+// goroutines feeding one session scale instead of serializing. Staged votes
+// take effect — and, on a durable engine, become durable — at the next merge
+// point: any mutation, estimate read, task boundary, Sync or checkpoint.
+// Relative order among staged votes is not preserved (batches may be
+// reordered whole), so stage only votes whose order is immaterial, i.e.
+// votes within one task.
+func (s *Session) AppendStagedVotes(batch []Vote) error {
+	vs := make([]votes.Vote, len(batch))
+	for i, v := range batch {
+		label := votes.Clean
+		if v.Dirty {
+			label = votes.Dirty
+		}
+		vs[i] = votes.Vote{Item: v.Item, Worker: v.Worker, Label: label}
+	}
+	return s.s.AppendStaged(vs)
+}
+
+// StagedVotes returns the number of staged votes awaiting merge.
+func (s *Session) StagedVotes() int64 { return s.s.StagedVotes() }
 
 // EndTask marks a task boundary.
 func (s *Session) EndTask() { s.s.EndTask() }

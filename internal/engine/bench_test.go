@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dqm/internal/estimator"
+	"dqm/internal/votelog"
 	"dqm/internal/votes"
 	"dqm/internal/wal"
 	"dqm/internal/window"
@@ -184,6 +185,51 @@ func BenchmarkWindowedIngest(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "votes/s")
+}
+
+// BenchmarkColumnarIngest measures binary (DQMV) columnar ingest through
+// AppendColumns — the wire bytes journaled verbatim and decoded once into
+// reused columns. Compare "memory" against BenchmarkSessionIngest (the same
+// 10-vote tasks through the Entry path) for the re-encode savings, and
+// "durable" against BenchmarkSessionIngestDurable/batch.
+func BenchmarkColumnarIngest(b *testing.B) {
+	const n, batchSize = 10000, 10
+	raws := make([][]byte, 64)
+	for r := range raws {
+		batch := syntheticBatch(n, batchSize, r)
+		for _, v := range batch {
+			raws[r] = votelog.AppendBinaryVote(raws[r], int32(v.Item), int32(v.Worker), v.Label == votes.Dirty)
+		}
+	}
+	run := func(b *testing.B, s *Session) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.AppendColumns(raws[i%len(raws)], true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "votes/s")
+	}
+	b.Run("memory", func(b *testing.B) {
+		run(b, NewSession("bench", n, SessionConfig{
+			Suite: estimator.SuiteConfig{WithoutHistory: true},
+		}))
+	})
+	b.Run("durable", func(b *testing.B) {
+		e, err := Open(Config{DataDir: b.TempDir(), WAL: wal.Options{Fsync: wal.FsyncBatch}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		s, err := e.Create("bench", n, SessionConfig{
+			Suite: estimator.SuiteConfig{WithoutHistory: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, s)
+	})
 }
 
 // BenchmarkSessionSnapshot measures the cost of a point-in-time snapshot of

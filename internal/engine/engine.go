@@ -27,7 +27,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"dqm/internal/estimator"
 	"dqm/internal/votes"
@@ -79,10 +78,6 @@ type Engine struct {
 	// ending with two write fds interleaving frames into one segment. These
 	// are all cold paths; one lock is fine.
 	loadMu sync.Mutex
-	// flushStop terminates the background journal flusher (durable engines
-	// under FsyncBatch/FsyncNever); closed exactly once via flushOnce.
-	flushStop chan struct{}
-	flushOnce sync.Once
 }
 
 type shard struct {
@@ -159,39 +154,10 @@ func Open(cfg Config) (*Engine, error) {
 		sh.mu.Unlock()
 		e.count.Add(1)
 	}
-	e.startFlusher(cfg.WAL)
+	// No background flusher here: the store's group-commit Syncer (one
+	// goroutine per store, inside package wal) bounds how long acknowledged
+	// frames sit in any journal's user-space buffer.
 	return e, nil
-}
-
-// startFlusher launches the background flush loop that bounds how long
-// acknowledged frames may sit in a journal's user-space buffer: under
-// FsyncBatch the documented loss bound is "at most the batch interval", and
-// under FsyncNever frames must still reach the OS even when a session goes
-// idle right after an append. FsyncAlways journals are never dirty, so no
-// loop is needed.
-func (e *Engine) startFlusher(opts wal.Options) {
-	if opts.Fsync == wal.FsyncAlways {
-		return
-	}
-	interval := opts.BatchInterval
-	if interval <= 0 {
-		interval = 100 * time.Millisecond
-	}
-	e.flushStop = make(chan struct{})
-	go func() {
-		t := time.NewTicker(interval)
-		defer t.Stop()
-		for {
-			select {
-			case <-e.flushStop:
-				return
-			case <-t.C:
-				for _, s := range e.live() {
-					s.flushJournal(opts.Fsync == wal.FsyncBatch)
-				}
-			}
-		}
-	}()
 }
 
 // Durable reports whether the engine persists sessions to disk.
@@ -541,16 +507,13 @@ func (e *Engine) Checkpoint() error {
 	return firstErr
 }
 
-// Close checkpoints and closes every live session's journal. Sessions stay
-// readable in memory, but further durable mutations fail; Close is the final
-// flush on shutdown, and calling it again is a harmless no-op. No-op on
-// in-memory engines.
+// Close checkpoints and closes every live session's journal, then stops the
+// store's group-commit syncer. Sessions stay readable in memory, but further
+// durable mutations fail; Close is the final flush on shutdown, and calling
+// it again is a harmless no-op. No-op on in-memory engines.
 func (e *Engine) Close() error {
 	if e.store == nil {
 		return nil
-	}
-	if e.flushStop != nil {
-		e.flushOnce.Do(func() { close(e.flushStop) })
 	}
 	var firstErr error
 	for _, s := range e.live() {
@@ -560,6 +523,9 @@ func (e *Engine) Close() error {
 		if err := s.closeJournal(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if err := e.store.Close(); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	return firstErr
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dqm/internal/estimator"
+	"dqm/internal/votelog"
 	"dqm/internal/votes"
 	"dqm/internal/wal"
 	"dqm/internal/window"
@@ -63,12 +64,26 @@ type SessionConfig struct {
 type Session struct {
 	id      string
 	created time.Time
+	// items is the population size N, immutable for the session's lifetime —
+	// read lock-free by Append/AppendStaged validation, so staging a batch
+	// never touches the session mutex.
+	items int
 
 	mu    sync.Mutex
 	suite *estimator.Suite
 	// ring is the windowed-estimation state (nil without a window config).
 	ring  *window.Ring
 	tasks int64
+
+	// staged holds votes accepted by AppendStaged but not yet folded into the
+	// suite: per-stripe buffers concurrent writers scatter over without
+	// contending on mu. Merge points (task boundaries, estimate reads, syncs,
+	// any mutation) drain it under mu — journaling each stripe batch before
+	// applying it, so the write-ahead invariant holds for staged votes too.
+	staged *votes.Stripes
+	// cols is the columnar decode scratch of AppendColumns, reused so the
+	// binary ingest path stays allocation-free after warmup. Guarded by mu.
+	cols votelog.VoteColumns
 
 	// journal is the write-ahead log of a durable session (nil otherwise).
 	// Every mutation is journaled before it is applied, under mu, so journal
@@ -126,7 +141,9 @@ func NewSession(id string, n int, cfg SessionConfig) *Session {
 	s := &Session{
 		id:      id,
 		created: now,
+		items:   n,
 		suite:   estimator.NewSuite(n, cfg.Suite),
+		staged:  votes.NewStripes(0),
 		ciSeed:  cfg.CISeed,
 	}
 	if cfg.Window != nil {
@@ -185,6 +202,131 @@ func (s *Session) journalBatch(batch []votes.Vote, endTask bool) error {
 	return s.journal.Append(batch, endTask)
 }
 
+// mergeStagedLocked drains the staged-vote stripes into the suite: each
+// stripe batch is journaled (its own frame) and applied, in stripe order.
+// Stage order is not arrival order — staged votes are order-independent by
+// the AppendStaged contract — but journal order equals apply order, so
+// recovery still replays to bit-identical state. A journal error leaves the
+// failing stripe and everything after it staged (nothing is dropped) and is
+// reported for the caller to surface. Call under mu, before any read or
+// mutation that must observe staged votes.
+func (s *Session) mergeStagedLocked() error {
+	if s.staged.Pending() == 0 {
+		return nil
+	}
+	merged := false
+	err := s.staged.Drain(func(batch []votes.Vote) error {
+		if s.journal != nil {
+			if err := s.journal.Append(batch, false); err != nil {
+				return &JournalError{SessionID: s.id, Err: err}
+			}
+		}
+		for _, v := range batch {
+			s.applyVote(v)
+		}
+		merged = true
+		metricBatches.Inc()
+		metricVotes.Add(uint64(len(batch)))
+		return nil
+	})
+	if merged {
+		s.bump()
+	}
+	return err
+}
+
+// mustMergeStaged is mergeStagedLocked for the void mutators, which panic on
+// journal failures like their own writes do.
+func (s *Session) mustMergeStaged() {
+	if err := s.mergeStagedLocked(); err != nil {
+		panic(fmt.Sprintf("engine: session %q staged merge: %v", s.id, err))
+	}
+}
+
+// AppendStaged stages a batch of intra-task votes without taking the session
+// mutex: validation runs against the immutable population size, the batch
+// lands in a sharded staging buffer, and the call returns. Concurrent
+// writers feeding one session therefore scale instead of serializing on mu.
+// The votes take effect (and, on a durable session, become durable) at the
+// next merge point — any mutation, estimate read, task boundary, Sync or
+// checkpoint. Because merging drains stripes in stripe order, staged votes
+// may be applied out of arrival order relative to each other; stage only
+// votes whose relative order is immaterial (votes within one task — every
+// estimator aggregate is intra-task order-independent). Batches are never
+// split or interleaved, only reordered whole.
+func (s *Session) AppendStaged(batch []votes.Vote) error {
+	n := s.items
+	for i, v := range batch {
+		if v.Item < 0 || v.Item >= n {
+			return fmt.Errorf("engine: vote %d: item %d outside population [0, %d)", i, v.Item, n)
+		}
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	s.staged.PutBatch(batch)
+	s.touch()
+	return nil
+}
+
+// StagedVotes returns the number of staged votes awaiting merge.
+func (s *Session) StagedVotes() int64 { return s.staged.Pending() }
+
+// AppendColumns ingests one columnar batch: raw DQMV 'V'-record bytes (one
+// task block of a binary vote log — see votelog.SplitBinaryTasks), validated,
+// journaled verbatim as a single columnar WAL record, and applied. The raw
+// bytes are never re-encoded per vote — the wire encoding is the journal
+// encoding — and the decode scratch is reused, so bulk binary ingest does not
+// allocate per batch. endTask marks a task boundary after the batch,
+// journaled in the same frame. Returns the number of votes ingested.
+func (s *Session) AppendColumns(raw []byte, endTask bool) (int, error) {
+	if len(raw) == 0 && !endTask {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cols := &s.cols
+	if err := cols.Decode(raw); err != nil {
+		return 0, err
+	}
+	n := int32(s.items)
+	for i, item := range cols.Item {
+		if item >= n {
+			return 0, fmt.Errorf("engine: vote %d: item %d outside population [0, %d)", i, item, n)
+		}
+	}
+	if err := s.mergeStagedLocked(); err != nil {
+		return 0, err
+	}
+	if s.journal != nil {
+		windowStart := int64(-1)
+		if endTask && s.ring != nil {
+			if rot, ok := s.ring.WillRotate(); ok {
+				windowStart = rot.Start
+			}
+		}
+		if err := s.journal.AppendColumns(raw, endTask, windowStart); err != nil {
+			return 0, &JournalError{SessionID: s.id, Err: err}
+		}
+	}
+	for i := range cols.Item {
+		label := votes.Clean
+		if cols.Dirty[i] {
+			label = votes.Dirty
+		}
+		s.applyVote(votes.Vote{Item: int(cols.Item[i]), Worker: int(cols.Worker[i]), Label: label})
+	}
+	if endTask {
+		s.applyEndTask()
+		metricTasks.Inc()
+	}
+	s.bump()
+	s.touch()
+	metricBatches.Inc()
+	metricVotes.Add(uint64(cols.Len()))
+	return cols.Len(), nil
+}
+
 // Record ingests one vote. It panics on an out-of-range item (mirroring
 // slice semantics) and on a journal write failure; external input should go
 // through Append, which validates and returns errors instead.
@@ -196,6 +338,7 @@ func (s *Session) Record(item, worker int, dirty bool) {
 	v := votes.Vote{Item: item, Worker: worker, Label: label}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.mustMergeStaged()
 	if s.journal != nil {
 		// Check the range before the write-ahead: the journal must never
 		// hold a vote that replay would reject.
@@ -228,6 +371,9 @@ func (s *Session) Append(batch []votes.Vote, endTask bool) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.mergeStagedLocked(); err != nil {
+		return err
+	}
 	if s.journal != nil {
 		if err := s.journalBatch(batch, endTask); err != nil {
 			return &JournalError{SessionID: s.id, Err: err}
@@ -253,6 +399,7 @@ func (s *Session) Append(batch []votes.Vote, endTask bool) error {
 func (s *Session) EndTask() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.mustMergeStaged()
 	if s.journal != nil {
 		if err := s.journalBatch(nil, true); err != nil {
 			panic(fmt.Sprintf("engine: session %q journal: %v", s.id, err))
@@ -271,6 +418,9 @@ func (s *Session) Tasks() int64 {
 	return s.tasks
 }
 
+// StagedEmpty reports whether no staged votes are awaiting merge (lock-free).
+func (s *Session) StagedEmpty() bool { return s.staged.Pending() == 0 }
+
 // Estimates returns every selected estimator's value at the current
 // position. The fast path is lock-free: if the session has not mutated since
 // the last read (version unchanged), the cached snapshot is returned without
@@ -279,7 +429,7 @@ func (s *Session) Tasks() int64 {
 // first read after a mutation recomputes, under the mutex.
 func (s *Session) Estimates() estimator.Estimates {
 	v := s.version.Load()
-	if c := s.cached.Load(); c != nil && c.version == v {
+	if c := s.cached.Load(); c != nil && c.version == v && s.staged.Pending() == 0 {
 		s.touch()
 		metricEstimateHits.Inc()
 		return c.est.Clone()
@@ -288,6 +438,11 @@ func (s *Session) Estimates() estimator.Estimates {
 	defer s.mu.Unlock()
 	s.touch()
 	metricEstimateMisses.Inc()
+	// Fold staged votes in first — estimates reflect everything acknowledged.
+	// A journal error here leaves them staged (retried at the next merge
+	// point, where a mutation path will surface the sticky error); the
+	// estimate is then simply computed over the durable prefix.
+	_ = s.mergeStagedLocked()
 	return s.estimatesLocked()
 }
 
@@ -340,6 +495,7 @@ func (s *Session) WindowEstimates(kind window.Kind) (window.Result, error) {
 	if s.ring == nil {
 		return window.Result{}, fmt.Errorf("engine: session %q has no window configuration", s.id)
 	}
+	_ = s.mergeStagedLocked()
 	s.touch()
 	return s.ring.Estimates(kind)
 }
@@ -352,17 +508,14 @@ func (s *Session) EstimatorNames() []string {
 	return s.suite.Names()
 }
 
-// NumItems returns the population size N.
-func (s *Session) NumItems() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.suite.NumItems()
-}
+// NumItems returns the population size N (immutable, lock-free).
+func (s *Session) NumItems() int { return s.items }
 
 // NumWorkers returns the number of distinct workers seen.
 func (s *Session) NumWorkers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_ = s.mergeStagedLocked()
 	return s.suite.Matrix.NumWorkers()
 }
 
@@ -370,6 +523,7 @@ func (s *Session) NumWorkers() int {
 func (s *Session) TotalVotes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_ = s.mergeStagedLocked()
 	return s.suite.Matrix.TotalVotes()
 }
 
@@ -377,6 +531,7 @@ func (s *Session) TotalVotes() int64 {
 func (s *Session) MajorityDirty(item int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_ = s.mergeStagedLocked()
 	return s.suite.Matrix.MajorityDirty(item)
 }
 
@@ -387,6 +542,7 @@ func (s *Session) MajorityDirty(item int) bool {
 func (s *Session) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.mustMergeStaged()
 	if s.journal != nil {
 		if err := s.journal.Reset(); err != nil {
 			panic(fmt.Sprintf("engine: session %q journal: %v", s.id, err))
@@ -410,6 +566,9 @@ func (s *Session) Durable() bool { return s.journal != nil }
 func (s *Session) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.mergeStagedLocked(); err != nil {
+		return err
+	}
 	if s.journal == nil {
 		return nil
 	}
@@ -422,6 +581,9 @@ func (s *Session) Sync() error {
 func (s *Session) checkpointJournal() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.mergeStagedLocked(); err != nil && !errors.Is(err, wal.ErrClosed) {
+		return err
+	}
 	if s.journal == nil {
 		return nil
 	}
@@ -431,32 +593,24 @@ func (s *Session) checkpointJournal() error {
 	return nil
 }
 
-// flushJournal is the background-flusher hook: it bounds how long
-// acknowledged frames sit in the journal's user-space buffer. With sync set
-// it also fsyncs (FsyncBatch's loss bound); otherwise frames are only handed
-// to the OS (FsyncNever). Errors are left in the journal's sticky state for
-// the next mutation to surface.
-func (s *Session) flushJournal(sync bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.journal == nil {
-		return
-	}
-	if sync {
-		_ = s.journal.Sync()
-	} else {
-		_ = s.journal.Flush()
-	}
-}
-
 // closeJournal flushes and closes the journal (eviction and engine close).
+// Staged votes are merged (journaled) first, so eviction cannot strand
+// acknowledged votes in memory.
 func (s *Session) closeJournal() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.journal == nil {
-		return nil
+	mergeErr := s.mergeStagedLocked()
+	if errors.Is(mergeErr, wal.ErrClosed) {
+		mergeErr = nil
 	}
-	return s.journal.Close()
+	if s.journal == nil {
+		return mergeErr
+	}
+	// A failed merge must not leak the journal's fd: close regardless.
+	if err := s.journal.Close(); err != nil {
+		return err
+	}
+	return mergeErr
 }
 
 // maxCICacheEntries bounds the per-session CI memo; beyond it the whole map
@@ -493,6 +647,7 @@ func (s *Session) SwitchCI(replicates int, level float64) (estimator.CI, error) 
 	if s.suite.Switch == nil {
 		return estimator.CI{}, fmt.Errorf("engine: session %q has no SWITCH estimator", s.id)
 	}
+	_ = s.mergeStagedLocked()
 	return s.cachedCI(ciKey{'s', replicates, level}, func() (estimator.CI, error) {
 		return s.suite.Switch.BootstrapSwitch(replicates, level, xrand.New(s.ciSeed))
 	})
@@ -503,6 +658,7 @@ func (s *Session) SwitchCI(replicates int, level float64) (estimator.CI, error) 
 func (s *Session) Chao92CI(replicates int, level float64) (estimator.CI, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_ = s.mergeStagedLocked()
 	return s.cachedCI(ciKey{'c', replicates, level}, func() (estimator.CI, error) {
 		return estimator.BootstrapChao92(s.suite.Matrix, replicates, level, xrand.New(s.ciSeed))
 	})
@@ -514,6 +670,7 @@ func (s *Session) Chao92CI(replicates int, level float64) (estimator.CI, error) 
 func (s *Session) Snapshot() *Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_ = s.mergeStagedLocked()
 	sn := &Snapshot{
 		suite: s.suite.Clone(),
 		tasks: s.tasks,
@@ -543,6 +700,7 @@ func (s *Session) Restore(sn *Snapshot) error {
 		// represent a restore; allowing one would silently diverge recovery.
 		return fmt.Errorf("engine: session %q is durable; in-memory snapshot restore is not supported (replay the journal instead)", s.id)
 	}
+	_ = s.mergeStagedLocked()
 	// Hold the snapshot's own lock while cloning: Snapshot.Estimates mutates
 	// scratch state inside the suite, so an unguarded concurrent Clone would
 	// race (sn.mu is always the innermost lock; nothing under it takes s.mu).

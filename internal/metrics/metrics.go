@@ -284,6 +284,30 @@ func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
 	return 0, false
 }
 
+// HistogramStats returns the observation count and sum of the histogram under
+// (name, labels) — enough to derive a mean, which is what periodic stats
+// lines want from a histogram. It reports false when no such series exists or
+// the series is not a histogram.
+func (r *Registry) HistogramStats(name string, labels ...Label) (count uint64, sum float64, ok bool) {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, k int) bool { return ls[i].Name < ls[k].Name })
+	r.mu.Lock()
+	f, ok := r.families[name]
+	var s *series
+	if ok {
+		s, ok = f.series[labelKey(ls)]
+	}
+	r.mu.Unlock()
+	if !ok {
+		return 0, 0, false
+	}
+	h, ok := s.inst.(*Histogram)
+	if !ok {
+		return 0, 0, false
+	}
+	return h.Count(), h.Sum(), true
+}
+
 // fmtFloat renders a float in the exposition format (shortest round-trip).
 func fmtFloat(v float64) string {
 	if math.IsInf(v, +1) {

@@ -1,0 +1,79 @@
+package votes
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Stripes is a sharded staging area for concurrent bulk ingest into one
+// matrix: writers scatter vote batches across independently locked stripes
+// (round-robin, one atomic increment per batch), so N goroutines feeding the
+// same session stop serializing on its mutex; a single reader later drains
+// every stripe and folds the staged votes into the real matrix. The drain
+// order is stripe order, not arrival order — callers stage only votes whose
+// relative order does not matter (votes within one task; every aggregate the
+// estimators consume is intra-task order-independent).
+type Stripes struct {
+	next    atomic.Uint64 // round-robin cursor
+	pending atomic.Int64  // staged votes not yet drained
+	stripes []stripe
+}
+
+// stripe is one independently locked staging buffer, padded so neighboring
+// stripes do not share a cache line under concurrent writers.
+type stripe struct {
+	mu  sync.Mutex
+	buf []Vote
+	_   [88]byte
+}
+
+// NewStripes builds a staging area with n stripes; n <= 0 selects
+// GOMAXPROCS, the useful ceiling on writer concurrency.
+func NewStripes(n int) *Stripes {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Stripes{stripes: make([]stripe, n)}
+}
+
+// PutBatch stages one batch. The whole batch lands in a single stripe, so a
+// drain never interleaves two batches' votes — only reorders whole batches.
+func (s *Stripes) PutBatch(vs []Vote) {
+	if len(vs) == 0 {
+		return
+	}
+	st := &s.stripes[s.next.Add(1)%uint64(len(s.stripes))]
+	st.mu.Lock()
+	st.buf = append(st.buf, vs...)
+	st.mu.Unlock()
+	s.pending.Add(int64(len(vs)))
+}
+
+// Pending returns the number of staged votes not yet drained. It is exact at
+// quiescence; mid-ingest it lags individual Put/Drain steps by design (one
+// atomic, no lock).
+func (s *Stripes) Pending() int64 {
+	return s.pending.Load()
+}
+
+// Drain feeds every non-empty stripe's buffer to fn, in stripe order,
+// clearing each buffer only after fn succeeds — a failed fn (journal error)
+// leaves that stripe and all later ones staged, so no vote is dropped. The
+// slice passed to fn aliases stripe storage and is invalid after fn returns.
+func (s *Stripes) Drain(fn func([]Vote) error) error {
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		if len(st.buf) > 0 {
+			if err := fn(st.buf); err != nil {
+				st.mu.Unlock()
+				return err
+			}
+			s.pending.Add(-int64(len(st.buf)))
+			st.buf = st.buf[:0]
+		}
+		st.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package votes
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestStripesDrainPreservesBatchesWhole(t *testing.T) {
+	s := NewStripes(4)
+	var want []Vote
+	for b := 0; b < 10; b++ {
+		batch := make([]Vote, 1+b%3)
+		for i := range batch {
+			batch[i] = Vote{Item: b, Worker: i, Label: Dirty}
+		}
+		want = append(want, batch...)
+		s.PutBatch(batch)
+	}
+	if got := s.Pending(); got != int64(len(want)) {
+		t.Fatalf("pending = %d, want %d", got, len(want))
+	}
+	var got []Vote
+	batchStarts := map[int]bool{}
+	if err := s.Drain(func(vs []Vote) error {
+		// Each stripe buffer holds whole batches: a batch's votes share an
+		// Item and appear consecutively with Worker 0..k.
+		for i := 0; i < len(vs); {
+			if vs[i].Worker != 0 {
+				return fmt.Errorf("batch %d starts mid-batch at worker %d", vs[i].Item, vs[i].Worker)
+			}
+			batchStarts[vs[i].Item] = true
+			j := i + 1
+			for j < len(vs) && vs[j].Item == vs[i].Item && vs[j].Worker == j-i {
+				j++
+			}
+			i = j
+		}
+		got = append(got, vs...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending after drain = %d", s.Pending())
+	}
+	if len(got) != len(want) || len(batchStarts) != 10 {
+		t.Fatalf("drained %d votes across %d batches, want %d across 10", len(got), len(batchStarts), len(want))
+	}
+	// Same multiset of votes (drain reorders whole batches, never loses one).
+	key := func(v Vote) string { return fmt.Sprintf("%d/%d/%v", v.Item, v.Worker, v.Label) }
+	a, b := make([]string, len(got)), make([]string, len(want))
+	for i := range got {
+		a[i], b[i] = key(got[i]), key(want[i])
+	}
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("vote multiset differs at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestStripesDrainErrorKeepsVotesStaged: a failing drain callback (journal
+// error) must leave the failed stripe and all later stripes untouched, so a
+// retry re-delivers every undrained vote.
+func TestStripesDrainErrorKeepsVotesStaged(t *testing.T) {
+	s := NewStripes(3)
+	for b := 0; b < 6; b++ {
+		s.PutBatch([]Vote{{Item: b}})
+	}
+	boom := errors.New("journal down")
+	calls := 0
+	err := s.Drain(func(vs []Vote) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("drain error = %v", err)
+	}
+	if p := s.Pending(); p != 4 {
+		t.Fatalf("pending after failed drain = %d, want 4 (two stripes of two)", p)
+	}
+	var retried int
+	if err := s.Drain(func(vs []Vote) error { retried += len(vs); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if retried != 4 || s.Pending() != 0 {
+		t.Fatalf("retry drained %d votes (pending %d), want 4 (0)", retried, s.Pending())
+	}
+}
+
+func TestStripesConcurrentPutAndDrain(t *testing.T) {
+	s := NewStripes(0) // GOMAXPROCS stripes
+	const writers, batches = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				s.PutBatch([]Vote{{Item: w, Worker: b}, {Item: w, Worker: b}})
+			}
+		}(w)
+	}
+	doneWriting := make(chan struct{})
+	done := make(chan struct{})
+	var drained int64
+	go func() {
+		defer close(done)
+		for {
+			_ = s.Drain(func(vs []Vote) error { drained += int64(len(vs)); return nil })
+			select {
+			case <-doneWriting:
+				_ = s.Drain(func(vs []Vote) error { drained += int64(len(vs)); return nil })
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(doneWriting)
+	<-done
+	if want := int64(writers * batches * 2); drained != want {
+		t.Fatalf("drained %d votes, want %d", drained, want)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after everything drained", s.Pending())
+	}
+}

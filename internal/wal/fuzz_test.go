@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"dqm/internal/votelog"
 	"dqm/internal/votes"
 )
 
@@ -25,6 +26,11 @@ func FuzzSegmentScan(f *testing.F) {
 	winPayload = append(winPayload, opEnd)
 	winPayload = appendWindow(winPayload, 42)
 	f.Add(append(append([]byte{}, segMagic...), appendFrame(nil, winPayload)...))
+	// A columnar frame: one batch of raw DQMV 'V' records plus a boundary.
+	var colPayload []byte
+	colPayload = appendColumns(colPayload, votelog.AppendBinaryVote(votelog.AppendBinaryVote(nil, 5, 3, true), 6, -2, false))
+	colPayload = append(colPayload, opEnd)
+	f.Add(append(append([]byte{}, segMagic...), appendFrame(nil, colPayload)...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
@@ -68,6 +74,9 @@ func FuzzRecordDecode(f *testing.F) {
 	rec = appendVote(rec, votes.Vote{Item: 1 << 30, Worker: -5, Label: votes.Clean})
 	f.Add(rec)
 	f.Add(appendWindow([]byte{opEnd}, 1<<40))
+	f.Add(appendColumns(nil, votelog.AppendBinaryVote(nil, 9, 4, true)))
+	// A columnar record whose declared length overruns the payload.
+	f.Add([]byte{opColumns, 0xff, 0xff, 0x7f, 'V'})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_ = decodeRecords(data, Hooks{
 			Vote:   func(item, worker int, dirty bool) error { return nil },

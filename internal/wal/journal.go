@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dqm/internal/votes"
@@ -16,11 +18,26 @@ var ErrClosed = errors.New("wal: journal closed")
 // Journal is the write-ahead log of one session: an active segment receiving
 // group-committed frames, zero or more sealed segments, and at most one
 // snapshot covering everything before them. The session engine serializes
-// calls (the journal is written under the session mutex), so Journal does no
-// locking of its own.
+// calls (the journal is written under the session mutex); the journal's own
+// mutex exists for the store's Syncer, which flushes and fsyncs dirty
+// journals from its own goroutine.
 type Journal struct {
 	dir  string
 	opts Options
+
+	// sy is the store-wide group-commit syncer (nil for journals detached
+	// from a store, which fall back to self-timed fsync policies).
+	sy *Syncer
+	// queued marks the journal as enqueued for the syncer's next pass; the
+	// syncer clears it when it snapshots the queue. Lock-free so MarkDirty
+	// stays off the syncer lock on the already-queued fast path.
+	queued atomic.Bool
+
+	// mu guards all file and buffer state below. Appends hold it only for
+	// the in-memory work (frame encode, buffer drain, rotation); FsyncAlways
+	// appends park on the syncer after releasing it, so a parked committer
+	// never blocks the pass that will cover it.
+	mu sync.Mutex
 
 	f    *os.File // active segment
 	seq  uint64   // active segment sequence number
@@ -28,8 +45,9 @@ type Journal struct {
 
 	// wbuf accumulates committed frames not yet handed to the OS: the
 	// user-space half of group commit. It drains on flushChunk overflow,
-	// Sync, rotation and Close. Under FsyncAlways every commit drains it
-	// immediately, so nothing acknowledged ever sits here; under
+	// Sync, rotation, Close, and every syncer pass that covers this journal.
+	// Under FsyncAlways a commit does not return before a pass drained and
+	// fsynced it, so nothing acknowledged ever sits here; under
 	// FsyncBatch/FsyncNever a crash can lose it, which those policies
 	// permit by contract.
 	wbuf []byte
@@ -75,11 +93,14 @@ func createSegment(dir string, seq uint64) (*os.File, int64, error) {
 // votes, plus a task boundary when endTask is set. It must be called before
 // the batch is applied to in-memory state.
 func (j *Journal) Append(batch []votes.Vote, endTask bool) error {
-	if j.err != nil {
-		return j.err
-	}
 	if len(batch) == 0 && !endTask {
 		return nil
+	}
+	j.mu.Lock()
+	if j.err != nil {
+		err := j.err
+		j.mu.Unlock()
+		return err
 	}
 	payload := j.buf[:0]
 	for _, v := range batch {
@@ -89,15 +110,18 @@ func (j *Journal) Append(batch []votes.Vote, endTask bool) error {
 		payload = append(payload, opEnd)
 	}
 	j.buf = payload
-	return j.commit(payload)
+	return j.finishCommit(payload)
 }
 
 // EndTask logs a bare task boundary.
 func (j *Journal) EndTask() error {
+	j.mu.Lock()
 	if j.err != nil {
-		return j.err
+		err := j.err
+		j.mu.Unlock()
+		return err
 	}
-	return j.commit([]byte{opEnd})
+	return j.finishCommit([]byte{opEnd})
 }
 
 // AppendRotation logs one engine batch, its task boundary, and the window
@@ -106,8 +130,11 @@ func (j *Journal) EndTask() error {
 // or neither, and replayed window boundaries always match an uninterrupted
 // run. windowStart is the first completed-task index of the sealed window.
 func (j *Journal) AppendRotation(batch []votes.Vote, windowStart int64) error {
+	j.mu.Lock()
 	if j.err != nil {
-		return j.err
+		err := j.err
+		j.mu.Unlock()
+		return err
 	}
 	payload := j.buf[:0]
 	for _, v := range batch {
@@ -116,70 +143,129 @@ func (j *Journal) AppendRotation(batch []votes.Vote, windowStart int64) error {
 	payload = append(payload, opEnd)
 	payload = appendWindow(payload, windowStart)
 	j.buf = payload
-	return j.commit(payload)
+	return j.finishCommit(payload)
+}
+
+// AppendColumns write-ahead-logs one columnar batch: raw pre-encoded DQMV
+// vote records ('V' opcode streams, see internal/votelog) journaled verbatim
+// as a single opColumns record — no per-vote re-encode, the bytes that came
+// off the wire are the bytes that hit the log. The caller must have validated
+// the raw stream (encoding and item bounds) first: the journal must never
+// hold a record replay would reject. endTask appends a task boundary in the
+// same frame; windowStart >= 0 additionally appends the window rotation that
+// boundary seals (pass -1 for none).
+func (j *Journal) AppendColumns(raw []byte, endTask bool, windowStart int64) error {
+	if len(raw) == 0 && !endTask {
+		return nil
+	}
+	j.mu.Lock()
+	if j.err != nil {
+		err := j.err
+		j.mu.Unlock()
+		return err
+	}
+	payload := j.buf[:0]
+	if len(raw) > 0 {
+		payload = appendColumns(payload, raw)
+	}
+	if endTask {
+		payload = append(payload, opEnd)
+		if windowStart >= 0 {
+			payload = appendWindow(payload, windowStart)
+		}
+	}
+	j.buf = payload
+	return j.finishCommit(payload)
 }
 
 // Reset logs a session reset. The next compaction discards everything before
 // it.
 func (j *Journal) Reset() error {
+	j.mu.Lock()
 	if j.err != nil {
-		return j.err
+		err := j.err
+		j.mu.Unlock()
+		return err
 	}
-	return j.commit([]byte{opReset})
+	return j.finishCommit([]byte{opReset})
 }
 
 // flushChunk drains the user-space frame buffer to the OS once it exceeds
 // this size, bounding both memory and write-syscall frequency.
 const flushChunk = 64 << 10
 
-// commit appends one frame to the group-commit buffer and applies the fsync
-// policy, rotating and compacting when thresholds are crossed.
-func (j *Journal) commit(payload []byte) error {
+// finishCommit commits one frame and applies the fsync policy. Called with
+// j.mu held; unlocks before any syncer interaction so a parked committer
+// cannot deadlock the pass that must flush its journal.
+func (j *Journal) finishCommit(payload []byte) error {
 	start := time.Now()
-	defer func() {
-		metricFrames.Inc()
-		metricAppendSeconds.ObserveSince(start)
-	}()
+	err := j.commitLocked(payload)
+	sy, policy := j.sy, j.opts.Fsync
+	needSync := false
+	if err == nil && sy == nil {
+		// Detached journal: the old self-timed policies.
+		switch policy {
+		case FsyncAlways:
+			needSync = true
+		case FsyncBatch:
+			needSync = time.Since(j.lastSync) >= j.opts.BatchInterval
+		}
+	}
+	j.mu.Unlock()
+	metricFrames.Inc()
+	defer metricAppendSeconds.ObserveSince(start)
+	if err != nil {
+		return err
+	}
+	switch {
+	case sy != nil && policy == FsyncAlways:
+		return sy.Commit(j)
+	case sy != nil:
+		sy.MarkDirty(j)
+		return nil
+	case needSync:
+		return j.Sync()
+	}
+	return nil
+}
+
+// commitLocked appends one frame to the group-commit buffer, rotating and
+// compacting when thresholds are crossed. Call with j.mu held.
+func (j *Journal) commitLocked(payload []byte) error {
 	j.wbuf = appendFrame(j.wbuf, payload)
 	j.dirty = true
 	if len(j.wbuf) >= flushChunk {
-		if err := j.flush(); err != nil {
+		if err := j.flushLocked(); err != nil {
 			return err
 		}
 	}
 	if j.size+int64(len(j.wbuf)) >= j.opts.SegmentBytes {
-		if err := j.rotate(); err != nil {
+		if err := j.rotateLocked(); err != nil {
 			return err
 		}
 		if j.sealedBytes >= j.opts.CompactAfter && j.sealedBytes >= j.snapBytes {
-			if err := j.compact(); err != nil {
+			if err := j.compactLocked(); err != nil {
 				return err
 			}
-		}
-	}
-	switch j.opts.Fsync {
-	case FsyncAlways:
-		return j.Sync()
-	case FsyncBatch:
-		if time.Since(j.lastSync) >= j.opts.BatchInterval {
-			return j.Sync()
 		}
 	}
 	return nil
 }
 
 // Flush drains buffered frames to the OS without fsyncing — the FsyncNever
-// idle bound (background flushers call it so acknowledged frames cannot sit
-// in process memory indefinitely).
+// idle bound (syncer passes call the locked variant so acknowledged frames
+// cannot sit in process memory indefinitely).
 func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.err != nil {
 		return j.err
 	}
-	return j.flush()
+	return j.flushLocked()
 }
 
-// flush drains buffered frames to the OS.
-func (j *Journal) flush() error {
+// flushLocked drains buffered frames to the OS. Call with j.mu held.
+func (j *Journal) flushLocked() error {
 	if len(j.wbuf) == 0 {
 		return nil
 	}
@@ -197,10 +283,17 @@ func (j *Journal) flush() error {
 
 // Sync flushes buffered frames and fsyncs the active segment.
 func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.err != nil {
 		return j.err
 	}
-	if err := j.flush(); err != nil {
+	return j.syncLocked()
+}
+
+// syncLocked flushes and fsyncs. Call with j.mu held.
+func (j *Journal) syncLocked() error {
+	if err := j.flushLocked(); err != nil {
 		return err
 	}
 	if j.dirty {
@@ -219,9 +312,11 @@ func (j *Journal) Sync() error {
 	return nil
 }
 
-// rotate seals the active segment and starts the next one.
-func (j *Journal) rotate() error {
-	if err := j.Sync(); err != nil {
+// rotateLocked seals the active segment and starts the next one. Rotation
+// fsyncs directly (not through the syncer): a sealed segment must be fully
+// durable before its successor exists. Call with j.mu held.
+func (j *Journal) rotateLocked() error {
+	if err := j.syncLocked(); err != nil {
 		return err
 	}
 	if err := j.f.Close(); err != nil {
@@ -240,13 +335,15 @@ func (j *Journal) rotate() error {
 	return nil
 }
 
-// compact rewrites snapshot + sealed segments into one new snapshot and
+// compactLocked rewrites snapshot + sealed segments into one new snapshot and
 // deletes the files it covers. Everything before the last opReset is dropped
 // — that is the only place journal history actually shrinks; otherwise the
 // snapshot is the full (compactly re-encoded) record stream, which replays
 // through the same ingest path as live votes and is therefore bit-identical
-// by construction.
-func (j *Journal) compact() error {
+// by construction. Columnar records are re-encoded per vote here — snapshots
+// are the compact form by contract, and compaction is a cold path.
+// Call with j.mu held.
+func (j *Journal) compactLocked() error {
 	if j.err != nil {
 		return j.err
 	}
@@ -325,23 +422,32 @@ func (j *Journal) compact() error {
 // enough sealed history has accumulated, folded into a snapshot. Shutdown
 // paths call it so the next boot recovers from a compact prefix.
 func (j *Journal) Checkpoint() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.err != nil {
 		return j.err
 	}
 	if j.sealedBytes > 0 && j.sealedBytes >= j.snapBytes {
-		if err := j.compact(); err != nil {
+		if err := j.compactLocked(); err != nil {
 			return err
 		}
 	}
-	return j.Sync()
+	return j.syncLocked()
 }
 
 // Close syncs and closes the journal. Further operations return ErrClosed.
 func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.err == ErrClosed {
 		return nil
 	}
-	err := j.Sync()
+	var err error
+	if j.err != nil {
+		err = j.err
+	} else {
+		err = j.syncLocked()
+	}
 	if cerr := j.f.Close(); err == nil && cerr != nil {
 		err = cerr
 	}

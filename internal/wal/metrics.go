@@ -26,4 +26,17 @@ var (
 		"Snapshot compaction wall time.", metrics.DurationBuckets)
 	metricWriteErrors = metrics.Default.Counter("dqm_wal_write_errors_total",
 		"Write/fsync failures that put a journal into its sticky error state.")
+	// metricGroupCommitSessions is observed once per non-empty syncer pass
+	// with the number of journals (≈ sessions) the pass covered: the
+	// group-commit amortization factor. A fixed count ladder, so Observe
+	// stays a lock-free atomic add on the ingest-adjacent path.
+	metricGroupCommitSessions = metrics.Default.Histogram("dqm_wal_group_commit_sessions",
+		"Journals flushed per group-commit syncer pass (sessions sharing one fsync round).",
+		GroupCommitBuckets)
+	metricSyncWaiters = metrics.Default.Gauge("dqm_wal_sync_waiters",
+		"Appends currently parked on the group-commit syncer (FsyncAlways committers awaiting their pass).")
 )
+
+// GroupCommitBuckets ladders session counts per pass: 1 (no batching win)
+// through thousands of sessions sharing a pass.
+var GroupCommitBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096}

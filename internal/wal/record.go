@@ -14,7 +14,19 @@ const (
 	opEnd    byte = 0x02 // task boundary
 	opReset  byte = 0x03 // clear all session state
 	opWindow byte = 0x04 // uvarint(start): window rotation sealed at this task boundary
+	// opColumns carries one columnar vote batch: uvarint(len) followed by len
+	// bytes of raw DQMV 'V' records (opcode 0x56, uvarint(item<<1|dirty),
+	// zigzag-varint(worker) — internal/votelog's binary vote encoding),
+	// journaled verbatim from the wire so bulk ingest never re-encodes per
+	// vote. Replay streams the embedded votes through the same Vote hook as
+	// opVote records, so recovered state cannot depend on which encoding a
+	// batch arrived in.
+	opColumns byte = 0x05
 )
+
+// maxColumnsLen bounds one opColumns record; matching the frame-payload bound
+// keeps a corrupt length varint from asking the decoder to slice gigabytes.
+const maxColumnsLen = 1 << 26
 
 // Hooks receives the decoded record stream during replay. Vote may reject a
 // record (e.g. an out-of-population item after external tampering) and
@@ -52,6 +64,51 @@ func appendVote(buf []byte, v votes.Vote) []byte {
 func appendWindow(buf []byte, start int64) []byte {
 	buf = append(buf, opWindow)
 	return binary.AppendUvarint(buf, uint64(start))
+}
+
+// appendColumns appends one opColumns record wrapping raw DQMV 'V'-record
+// bytes verbatim.
+func appendColumns(buf []byte, raw []byte) []byte {
+	buf = append(buf, opColumns)
+	buf = binary.AppendUvarint(buf, uint64(len(raw)))
+	return append(buf, raw...)
+}
+
+// binOpVote is the DQMV binary vote opcode (internal/votelog); opColumns
+// payloads are streams of exactly these records.
+const binOpVote byte = 'V'
+
+// decodeColumns streams the raw 'V' records of one columnar payload through
+// vote. The wire format inside an opColumns record is votelog's, but the
+// decode loop lives here so WAL replay has no dependency direction problem
+// (votelog depends on wire-format helpers only, not on the WAL).
+func decodeColumns(raw []byte, vote func(item, worker int, dirty bool) error) error {
+	for len(raw) > 0 {
+		if raw[0] != binOpVote {
+			return fmt.Errorf("wal: columnar record: unknown vote opcode 0x%02x", raw[0])
+		}
+		raw = raw[1:]
+		key, n := binary.Uvarint(raw)
+		if n <= 0 || key>>1 > math.MaxInt32 {
+			return fmt.Errorf("wal: columnar record: bad vote item varint")
+		}
+		raw = raw[n:]
+		w, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return fmt.Errorf("wal: columnar record: bad vote worker varint")
+		}
+		raw = raw[n:]
+		worker := unzigzag(w)
+		if worker < math.MinInt32 || worker > math.MaxInt32 {
+			return fmt.Errorf("wal: columnar record: worker id %d out of range", worker)
+		}
+		if vote != nil {
+			if err := vote(int(key>>1), int(worker), key&1 == 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // decodeRecords streams one frame payload (or snapshot body) through h.
@@ -99,6 +156,16 @@ func decodeRecords(p []byte, h Hooks) error {
 					return err
 				}
 			}
+		case opColumns:
+			size, n := binary.Uvarint(p)
+			if n <= 0 || size > maxColumnsLen || size > uint64(len(p)-n) {
+				return fmt.Errorf("wal: bad columnar record length")
+			}
+			p = p[n:]
+			if err := decodeColumns(p[:size], h.Vote); err != nil {
+				return err
+			}
+			p = p[size:]
 		default:
 			return fmt.Errorf("wal: unknown record opcode 0x%02x", op)
 		}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -18,10 +19,16 @@ import (
 // directory. It holds no per-session state itself — journals are owned by the
 // sessions that opened them — so its methods are safe for concurrent use as
 // long as each session id is operated on by one caller at a time (the engine
-// guarantees this).
+// guarantees this). What the store does own is the group-commit Syncer every
+// journal it opens shares: one goroutine batching flush/fsync work across all
+// sessions (see Syncer). Close stops it; journals opened by the store keep
+// working afterwards but fall back to syncing themselves.
 type Store struct {
 	dir  string
 	opts Options
+
+	sy        *Syncer
+	closeOnce sync.Once
 }
 
 // OpenStore opens (creating if needed) a data directory. Session directories
@@ -41,8 +48,22 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 			os.RemoveAll(filepath.Join(dir, e.Name()))
 		}
 	}
-	return &Store{dir: dir, opts: opts.withDefaults()}, nil
+	opts = opts.withDefaults()
+	return &Store{dir: dir, opts: opts, sy: newSyncer(opts)}, nil
 }
+
+// Close stops the store's group-commit syncer after one final pass, so every
+// frame committed before Close is flushed (and, per policy, fsynced). Safe to
+// call more than once. Journals stay usable — they self-sync afterwards —
+// but callers should close them first: the engine closes sessions, then the
+// store.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() { s.sy.Close() })
+	return nil
+}
+
+// Syncer exposes the store's group-commit plane (tests).
+func (s *Store) Syncer() *Syncer { return s.sy }
 
 // abortedCreate reports whether a session directory was abandoned by a crash
 // between Mkdir and writeMeta: it exists but has no meta.json. Such a
@@ -214,7 +235,7 @@ func (s *Store) Create(meta Meta) (*Journal, error) {
 		return nil, err
 	}
 	_ = syncDir(s.dir)
-	return &Journal{dir: dir, opts: s.opts, f: f, seq: 1, size: size, lastSync: time.Now()}, nil
+	return &Journal{dir: dir, opts: s.opts, sy: s.sy, f: f, seq: 1, size: size, lastSync: time.Now()}, nil
 }
 
 // writeMeta atomically persists meta.json: temp file, fsync, rename, dir
@@ -322,7 +343,7 @@ func (s *Store) Recover(id string, h Hooks) (*Journal, error) {
 	}
 	removeTemp(dir)
 
-	j := &Journal{dir: dir, opts: s.opts, snapSeq: snapSeq, snapBytes: snapBytes, lastSync: time.Now()}
+	j := &Journal{dir: dir, opts: s.opts, sy: s.sy, snapSeq: snapSeq, snapBytes: snapBytes, lastSync: time.Now()}
 	if len(live) == 0 {
 		f, size, err := createSegment(dir, snapSeq+1)
 		if err != nil {

@@ -44,17 +44,18 @@ type FsyncPolicy int
 
 const (
 	// FsyncBatch (the default) group-commits: frames accumulate in a
-	// user-space buffer that drains to the OS on overflow, and fsync runs
-	// at most once per BatchInterval — triggered by append activity or, for
-	// idle journals, by the engine's background flusher (and always on
-	// rotation, checkpoint and close). A crash loses at most roughly the
-	// last interval of acknowledged votes.
+	// user-space buffer that drains to the OS on overflow, and the store's
+	// shared Syncer fsyncs every dirty journal at least once per
+	// BatchInterval (and always on rotation, checkpoint and close). A crash
+	// loses at most roughly the last interval of acknowledged votes.
 	FsyncBatch FsyncPolicy = iota
 	// FsyncAlways fsyncs every frame before the append returns. Nothing
-	// acknowledged is ever lost; throughput is bounded by device sync latency.
+	// acknowledged is ever lost. Appends park on the store's Syncer, so
+	// concurrent sessions share fsync rounds (cross-session group commit)
+	// instead of each paying device sync latency alone.
 	FsyncAlways
 	// FsyncNever leaves fsync to the OS: frames are still handed to the
-	// kernel (on buffer overflow, or by the engine's background flusher),
+	// kernel (on buffer overflow, or by the store Syncer's periodic drain),
 	// but nothing forces them to the device. An OS crash may lose
 	// everything since the last rotation/checkpoint; a clean Close still
 	// syncs.

@@ -57,6 +57,7 @@ func testStore(t *testing.T, opts Options) *Store {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { _ = s.Close() })
 	return s
 }
 
