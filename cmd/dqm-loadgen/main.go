@@ -10,7 +10,7 @@
 //	dqm-loadgen [-target http://host:8334] [-scenario mixed] [-sessions 4]
 //	            [-workers 8] [-duration 5s] [-items 5000] [-batch 20]
 //	            [-rate 0] [-seed 1] [-watchers 0] [-data-dir DIR]
-//	            [-out BENCH_loadgen.json]
+//	            [-recovery-parallelism 0] [-out BENCH_loadgen.json]
 //
 // Without -target the engine is driven in-process (the engine-layer ceiling;
 // add -data-dir for the journaled variant); with -target requests go over
@@ -23,7 +23,9 @@
 // (70/30 binary-ingest/poll), poll (10/90 ingest/estimate-poll), mixed
 // (70/30), watch (90/10 plus -watchers SSE subscribers), drift (windowed
 // sessions; the generated error rate jumps 0.05→0.30 after 200 tasks per
-// worker, the regime windowed estimation exists for).
+// worker, the regime windowed estimation exists for), restart (populate
+// -sessions durable sessions, then cycle timed engine reboots measuring boot
+// recovery time and first-estimate latency; honors -recovery-parallelism).
 //
 // Determinism: the op stream — sessions touched, batch contents, op order per
 // worker — is a pure function of (-seed, worker index, workload flags).
@@ -52,25 +54,26 @@ import (
 )
 
 type config struct {
-	Target   string
-	Scenario string
-	Sessions int
-	Workers  int
-	Duration time.Duration
-	Items    int
-	Batch    int
-	Rate     float64
-	Seed     uint64
-	Watchers int
-	DataDir  string
-	Out      string
+	Target              string
+	Scenario            string
+	Sessions            int
+	Workers             int
+	Duration            time.Duration
+	Items               int
+	Batch               int
+	Rate                float64
+	Seed                uint64
+	Watchers            int
+	DataDir             string
+	RecoveryParallelism int
+	Out                 string
 }
 
 func main() {
 	fs := flag.NewFlagSet("dqm-loadgen", flag.ExitOnError)
 	var cfg config
 	fs.StringVar(&cfg.Target, "target", "", "dqm-serve base URL (empty = drive the engine in-process)")
-	fs.StringVar(&cfg.Scenario, "scenario", "mixed", "workload scenario: ingest, binary-ingest, binary-mixed, poll, mixed, watch or drift")
+	fs.StringVar(&cfg.Scenario, "scenario", "mixed", "workload scenario: ingest, binary-ingest, binary-mixed, poll, mixed, watch, drift or restart")
 	fs.IntVar(&cfg.Sessions, "sessions", 4, "concurrent sessions")
 	fs.IntVar(&cfg.Workers, "workers", 8, "concurrent load workers")
 	fs.DurationVar(&cfg.Duration, "duration", 5*time.Second, "measurement duration")
@@ -80,6 +83,7 @@ func main() {
 	fs.Uint64Var(&cfg.Seed, "seed", 1, "workload seed (same seed = same request stream)")
 	fs.IntVar(&cfg.Watchers, "watchers", 0, "watch subscribers (watch scenario; 0 = one per session)")
 	fs.StringVar(&cfg.DataDir, "data-dir", "", "journal the in-process engine under this directory")
+	fs.IntVar(&cfg.RecoveryParallelism, "recovery-parallelism", 0, "boot-recovery worker count for the restart scenario (0 = GOMAXPROCS, 1 = serial)")
 	fs.StringVar(&cfg.Out, "out", "BENCH_loadgen.json", "report output path (empty = stdout summary only)")
 	fs.Parse(os.Args[1:])
 
@@ -115,14 +119,14 @@ type report struct {
 	GoVersion       string  `json:"go_version"`
 	GOMAXPROCS      int     `json:"gomaxprocs"`
 
-	TotalOps       int64   `json:"total_ops"`
-	TotalErrors    int64   `json:"total_errors"`
-	OpsPerSec      float64 `json:"ops_per_sec"`
-	VotesPerSec    float64 `json:"votes_per_sec"`
-	AllocsPerOp    float64 `json:"allocs_per_op"`
-	AllocKiBPerOp  float64 `json:"alloc_kib_per_op"`
-	WatchEvents    int64   `json:"watch_events,omitempty"`
-	WatchSubs      int     `json:"watch_subscribers,omitempty"`
+	TotalOps      int64   `json:"total_ops"`
+	TotalErrors   int64   `json:"total_errors"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	VotesPerSec   float64 `json:"votes_per_sec"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	AllocKiBPerOp float64 `json:"alloc_kib_per_op"`
+	WatchEvents   int64   `json:"watch_events,omitempty"`
+	WatchSubs     int     `json:"watch_subscribers,omitempty"`
 
 	Ops map[string]opReport `json:"ops"`
 }
@@ -181,7 +185,7 @@ type driver interface {
 type workerStats struct {
 	count   [numOpKinds]int64
 	errors  [numOpKinds]int64
-	votes   [numOpKinds]int64 // per kind, so JSON and binary ingest report separately
+	votes   [numOpKinds]int64   // per kind, so JSON and binary ingest report separately
 	latency [numOpKinds][]int64 // ns
 }
 
@@ -192,6 +196,9 @@ func run(cfg config) (*report, error) {
 	}
 	if cfg.Sessions <= 0 || cfg.Workers <= 0 || cfg.Items <= 0 || cfg.Batch <= 0 {
 		return nil, fmt.Errorf("sessions, workers, items and batch must be positive")
+	}
+	if sc.Name == "restart" {
+		return runRestart(cfg)
 	}
 	w := workload{Scenario: sc, Seed: cfg.Seed, Sessions: cfg.Sessions, Items: cfg.Items, Batch: cfg.Batch}
 

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"dqm"
+)
+
+// restartTasksPerSession fixes the deterministic populate size of the restart
+// scenario: every session gets this many tasks of -batch votes before the
+// engine is closed and rebooted, so the replayed journal bytes are a pure
+// function of (-seed, -sessions, -items, -batch).
+const restartTasksPerSession = 150
+
+// runRestart measures the recovery plane end to end: populate -sessions
+// durable sessions, close the engine, then cycle timed reboots until the
+// -duration budget is spent. Each cycle reports one "boot" op (full boot
+// recovery of every session, at -recovery-parallelism) and one
+// "first_estimate" op per session (the first estimate read after boot — what
+// a dashboard poll pays right after a restart). VotesPerSec is replay
+// throughput: journaled votes recovered per second of boot time.
+func runRestart(cfg config) (*report, error) {
+	if cfg.Target != "" {
+		return nil, fmt.Errorf("scenario restart drives the in-process engine; -target is not supported")
+	}
+	dir := cfg.DataDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "dqm-loadgen-restart-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	ecfg := dqm.EngineConfig{RecoveryParallelism: cfg.RecoveryParallelism}
+
+	// Populate (untimed): deterministic per-session vote streams through the
+	// ordinary durable ingest path.
+	eng, err := dqm.OpenEngine(dir, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	if n := eng.NumSessions(); n > 0 {
+		eng.Close()
+		return nil, fmt.Errorf("scenario restart needs an empty data dir, found %d journaled session(s) in %s", n, dir)
+	}
+	w := workload{Seed: cfg.Seed, Sessions: cfg.Sessions, Items: cfg.Items, Batch: cfg.Batch}
+	for k := 0; k < cfg.Sessions; k++ {
+		g := newOpGen(w, k)
+		s, err := eng.CreateSession(sessionID(k), cfg.Items, dqm.Defaults())
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		for t := 0; t < restartTasksPerSession; t++ {
+			o := op{Session: k}
+			g.fillVotes(&o)
+			batch := make([]dqm.Vote, len(o.Votes))
+			for i, v := range o.Votes {
+				batch[i] = dqm.Vote{Item: v.Item, Worker: v.Worker, Dirty: v.Dirty}
+			}
+			if err := s.AppendVotes(batch, true); err != nil {
+				eng.Close()
+				return nil, err
+			}
+		}
+	}
+	if err := eng.Close(); err != nil {
+		return nil, err
+	}
+
+	// Measured restart cycles: at least one, then as many as fit -duration.
+	var bootNS, firstEstNS []int64
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	cycles := 0
+	for {
+		t0 := time.Now()
+		eng, err := dqm.OpenEngine(dir, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		bootNS = append(bootNS, time.Since(t0).Nanoseconds())
+		for k := 0; k < cfg.Sessions; k++ {
+			s, ok := eng.Session(sessionID(k))
+			if !ok {
+				eng.Close()
+				return nil, fmt.Errorf("session %s not recovered at boot", sessionID(k))
+			}
+			t1 := time.Now()
+			s.Estimates()
+			firstEstNS = append(firstEstNS, time.Since(t1).Nanoseconds())
+		}
+		if err := eng.Close(); err != nil {
+			return nil, err
+		}
+		cycles++
+		if !time.Now().Before(deadline) {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+
+	digest := func(ns []int64) (latencyMS, float64) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		var total int64
+		for _, v := range ns {
+			total += v
+		}
+		return latencyMS{
+			P50: pctMS(ns, 0.50),
+			P90: pctMS(ns, 0.90),
+			P99: pctMS(ns, 0.99),
+			Max: float64(ns[len(ns)-1]) / 1e6,
+		}, float64(total) / 1e9
+	}
+	bootLat, bootSeconds := digest(bootNS)
+	estLat, _ := digest(firstEstNS)
+	votesPerBoot := int64(cfg.Sessions) * restartTasksPerSession * int64(cfg.Batch)
+
+	rep := &report{
+		Tool:            "dqm-loadgen",
+		SchemaVersion:   1,
+		Scenario:        "restart",
+		Target:          "inprocess",
+		Seed:            cfg.Seed,
+		Sessions:        cfg.Sessions,
+		Workers:         cfg.Workers,
+		DurationSeconds: elapsed.Seconds(),
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		TotalOps:        int64(cycles) + int64(len(firstEstNS)),
+		OpsPerSec:       (float64(cycles) + float64(len(firstEstNS))) / elapsed.Seconds(),
+		// Replay throughput: journaled votes recovered per second of boot time.
+		VotesPerSec: float64(votesPerBoot*int64(cycles)) / bootSeconds,
+		Ops: map[string]opReport{
+			"boot": {
+				Count:     int64(cycles),
+				Votes:     votesPerBoot * int64(cycles),
+				OpsPerSec: float64(cycles) / elapsed.Seconds(),
+				Latency:   bootLat,
+			},
+			"first_estimate": {
+				Count:     int64(len(firstEstNS)),
+				OpsPerSec: float64(len(firstEstNS)) / elapsed.Seconds(),
+				Latency:   estLat,
+			},
+		},
+	}
+	return rep, nil
+}

@@ -77,6 +77,9 @@ var scenarios = []scenario{
 	{Name: "mixed", Ingest: 70, Poll: 30},
 	{Name: "watch", Ingest: 90, Poll: 10, Watch: true},
 	{Name: "drift", Ingest: 80, Poll: 10, WindowPoll: 10, Windowed: true, Drift: true},
+	// restart is not an op-mix scenario: it populates durable sessions, then
+	// cycles timed engine reboots (see runRestart in restart.go).
+	{Name: "restart"},
 }
 
 // findScenario resolves a scenario by name.

@@ -101,6 +101,7 @@ func main() {
 		dataDir     = fs.String("data-dir", "", "durable data directory (empty = in-memory only)")
 		fsyncMode   = fs.String("fsync", "batch", "journal fsync policy: batch, always or never")
 		fsyncEvery  = fs.Duration("fsync-interval", 100*time.Millisecond, "max fsync staleness under -fsync batch")
+		recoverPar  = fs.Int("recovery-parallelism", 0, "concurrent session replays during boot recovery (0 = GOMAXPROCS, 1 = serial)")
 		drainWait   = fs.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 		enablePprof = fs.Bool("pprof", false, "expose /debug/pprof/ runtime profiles")
 		statsEvery  = fs.Duration("log-stats-interval", 0, "log a one-line stats summary at this interval (0 = off)")
@@ -112,23 +113,25 @@ func main() {
 		log.Fatal(err)
 	}
 	srv, err := newServer(serverConfig{
-		Shards:           *shards,
-		MaxSessions:      *maxSessions,
-		MaxBatch:         *maxBatch,
-		MaxBodyBytes:     *maxBody,
-		WatchMinInterval: *watchMinIv,
-		DataDir:          *dataDir,
-		Fsync:            fsync,
-		FsyncInterval:    *fsyncEvery,
-		EnablePprof:      *enablePprof,
-		LogStatsInterval: *statsEvery,
+		Shards:              *shards,
+		MaxSessions:         *maxSessions,
+		MaxBatch:            *maxBatch,
+		MaxBodyBytes:        *maxBody,
+		WatchMinInterval:    *watchMinIv,
+		DataDir:             *dataDir,
+		Fsync:               fsync,
+		FsyncInterval:       *fsyncEvery,
+		RecoveryParallelism: *recoverPar,
+		EnablePprof:         *enablePprof,
+		LogStatsInterval:    *statsEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *dataDir != "" {
-		log.Printf("dqm-serve durable in %s (fsync=%s), recovered %d session(s)",
-			*dataDir, *fsyncMode, srv.engine.NumSessions())
+		recovered, elapsed := srv.engine.BootRecovery()
+		log.Printf("dqm-serve durable in %s (fsync=%s), recovered %d session(s) in %s",
+			*dataDir, *fsyncMode, recovered, elapsed.Round(time.Millisecond))
 	}
 	hs := &http.Server{
 		Addr:    *addr,
@@ -202,6 +205,9 @@ type serverConfig struct {
 	// Fsync and FsyncInterval tune the journal flush policy under DataDir.
 	Fsync         dqm.FsyncPolicy
 	FsyncInterval time.Duration
+	// RecoveryParallelism bounds concurrent session replays during boot
+	// recovery; 0 selects GOMAXPROCS, 1 recovers serially.
+	RecoveryParallelism int
 	// EnablePprof exposes /debug/pprof/ runtime profiles.
 	EnablePprof bool
 	// LogStatsInterval, when positive, logs a one-line operational summary
@@ -260,9 +266,10 @@ func newServer(cfg serverConfig) (*server, error) {
 		MaxSessions: cfg.MaxSessions,
 		// LRU-evicted sessions must not leak their server-side snapshots (or
 		// resurrect them under a reused id).
-		OnEvict:       s.dropSnapshots,
-		Fsync:         cfg.Fsync,
-		FsyncInterval: cfg.FsyncInterval,
+		OnEvict:             s.dropSnapshots,
+		Fsync:               cfg.Fsync,
+		FsyncInterval:       cfg.FsyncInterval,
+		RecoveryParallelism: cfg.RecoveryParallelism,
 	}
 	if cfg.DataDir != "" {
 		eng, err := dqm.OpenEngine(cfg.DataDir, engineCfg)
@@ -379,6 +386,9 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if s.engine.Durable() {
 		health["data_dir"] = s.cfg.DataDir
 		health["fsync"] = s.cfg.Fsync.String()
+		recovered, elapsed := s.engine.BootRecovery()
+		health["recovered_sessions"] = recovered
+		health["recovery_seconds"] = elapsed.Seconds()
 	}
 	writeJSON(w, http.StatusOK, health)
 }

@@ -379,15 +379,22 @@ type EngineConfig struct {
 	// FsyncInterval is the maximum fsync staleness under FsyncBatch;
 	// 0 selects 100ms.
 	FsyncInterval time.Duration
+	// RecoveryParallelism bounds how many journaled sessions OpenEngine
+	// replays concurrently during boot recovery. 0 selects GOMAXPROCS; 1
+	// recovers serially. Recovered state is bit-identical at any setting —
+	// sessions are independent journals — so this only trades boot wall-clock
+	// against replay CPU/IO concurrency.
+	RecoveryParallelism int
 }
 
 // walOptions lowers the public durability knobs.
 func (cfg EngineConfig) engineConfig() engine.Config {
 	return engine.Config{
-		Shards:      cfg.Shards,
-		MaxSessions: cfg.MaxSessions,
-		OnEvict:     cfg.OnEvict,
-		DataDir:     cfg.DataDir,
+		Shards:              cfg.Shards,
+		MaxSessions:         cfg.MaxSessions,
+		OnEvict:             cfg.OnEvict,
+		DataDir:             cfg.DataDir,
+		RecoveryParallelism: cfg.RecoveryParallelism,
 		WAL: wal.Options{
 			Fsync:         wal.FsyncPolicy(cfg.Fsync),
 			BatchInterval: cfg.FsyncInterval,
@@ -484,6 +491,12 @@ func (e *Engine) NumSessions() int { return e.e.Len() }
 // Evictions returns the number of sessions evicted by the MaxSessions
 // policy.
 func (e *Engine) Evictions() int64 { return e.e.Evictions() }
+
+// BootRecovery reports what OpenEngine's boot recovery did: how many
+// journaled sessions were replayed eagerly and how long the (possibly
+// parallel — see EngineConfig.RecoveryParallelism) replay took. Zero values
+// on in-memory engines and empty data directories.
+func (e *Engine) BootRecovery() (sessions int, elapsed time.Duration) { return e.e.BootRecovery() }
 
 // Session is one engine-managed dataset session. All methods are safe for
 // concurrent use; votes within a session are serialized in arrival order.

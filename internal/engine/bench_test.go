@@ -284,3 +284,88 @@ func BenchmarkSessionIngestDurable(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRecovery measures the recovery plane. "boot/serial" and
+// "boot/parallel" replay a 64-session data dir through Open with
+// RecoveryParallelism 1 and GOMAXPROCS respectively (on multi-core hardware
+// the parallel ratio is the tentpole number; on one core they coincide).
+// "coldload" is the on-demand path: one evicted session replayed per op
+// through Load under the per-id singleflight.
+func BenchmarkRecovery(b *testing.B) {
+	const (
+		nSessions = 64
+		n         = 1000
+		tasks     = 100
+		batchSize = 10
+	)
+	dir := b.TempDir()
+	walOpts := wal.Options{Fsync: wal.FsyncNever}
+	e, err := Open(Config{DataDir: dir, WAL: walOpts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]string, nSessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-%03d", i)
+		s, err := e.Create(ids[i], n, SessionConfig{
+			Suite: estimator.SuiteConfig{WithoutHistory: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for t := 0; t < tasks; t++ {
+			if err := s.Append(syntheticBatch(n, batchSize, t), true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := e.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	boot := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, err := Open(Config{DataDir: dir, WAL: walOpts, RecoveryParallelism: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if e.Len() != nSessions {
+				b.Fatalf("boot recovered %d sessions, want %d", e.Len(), nSessions)
+			}
+			if err := e.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(nSessions)*float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+		b.ReportMetric(float64(nSessions*tasks*batchSize)*float64(b.N)/b.Elapsed().Seconds(), "votes/s")
+	}
+	b.Run("boot/serial", func(b *testing.B) { boot(b, 1) })
+	b.Run("boot/parallel", func(b *testing.B) { boot(b, 0) })
+
+	b.Run("coldload", func(b *testing.B) {
+		// MaxSessions=1: every Load evicts the previous session, so each op is
+		// one full journal replay through the singleflight path.
+		e, err := Open(Config{DataDir: dir, WAL: walOpts, MaxSessions: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		// Displace whatever boot recovered so the first timed Load is cold too
+		// (the loop never asks for the id it just loaded).
+		if _, err := e.Load(ids[len(ids)-1]); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Load(ids[i%len(ids)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(tasks*batchSize)*float64(b.N)/b.Elapsed().Seconds(), "votes/s")
+	})
+}

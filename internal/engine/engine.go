@@ -24,11 +24,15 @@ package engine
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dqm/internal/estimator"
+	"dqm/internal/votelog"
 	"dqm/internal/votes"
 	"dqm/internal/wal"
 	"dqm/internal/window"
@@ -56,6 +60,11 @@ type Config struct {
 	DataDir string
 	// WAL tunes the journals when DataDir is set.
 	WAL wal.Options
+	// RecoveryParallelism bounds how many sessions Open replays concurrently
+	// during boot recovery. 0 selects GOMAXPROCS; 1 recovers serially.
+	// Sessions are independent journals, so recovered state is bit-identical
+	// at any setting — only wall-clock boot time changes.
+	RecoveryParallelism int
 }
 
 // Engine manages many concurrent estimation sessions.
@@ -70,14 +79,36 @@ type Engine struct {
 
 	// store is the durability layer; nil for in-memory engines.
 	store *wal.Store
-	// loadMu serializes every operation that can transition a session
-	// between disk and memory on a durable engine — Load, durable Create,
-	// durable Delete, and (transitively, since its durable callers hold it)
-	// eviction. Without it, a Load could recover a session's files while a
-	// concurrent Create/evict/Delete still holds an open journal on them,
-	// ending with two write fds interleaving frames into one segment. These
-	// are all cold paths; one lock is fine.
-	loadMu sync.Mutex
+	// recoverWorkers bounds boot-recovery concurrency (resolved from
+	// Config.RecoveryParallelism; 0 = GOMAXPROCS at Open time).
+	recoverWorkers int
+	// bootSessions/bootNanos record what Open's boot recovery did, for the
+	// serving layer's startup log and healthz.
+	bootSessions int
+	bootNanos    int64
+
+	// idMu guards inflight: one short-lived lock per session id, replacing
+	// the old engine-global loadMu. Every operation that transitions a
+	// session between disk and memory — Load, durable Create, durable
+	// Delete, eviction of a victim — holds that id's lock for the duration,
+	// so a Load can never recover a session's files while a concurrent
+	// Create/evict/Delete still holds an open journal on them (two write fds
+	// interleaving frames into one segment). Distinct ids proceed fully
+	// concurrently, and duplicate concurrent Loads of one id coalesce: the
+	// second acquires the lock after the first finished and finds the live
+	// session. Deadlock-free: an operation acquires at most its own id's
+	// lock plus one eviction victim's at a time, and victims are always live
+	// sessions while an operation's own id is never live before its insert —
+	// so no cycle can close.
+	idMu     sync.Mutex
+	inflight map[string]*idLock
+}
+
+// idLock is one session id's disk<->memory transition lock, reference-counted
+// so the inflight map stays bounded by the number of in-flight operations.
+type idLock struct {
+	mu   sync.Mutex
+	refs int
 }
 
 type shard struct {
@@ -105,15 +136,44 @@ func newEngine(cfg Config) *Engine {
 		size <<= 1
 	}
 	e := &Engine{
-		shards:  make([]shard, size),
-		mask:    uint64(size - 1),
-		max:     cfg.MaxSessions,
-		onEvict: cfg.OnEvict,
+		shards:         make([]shard, size),
+		mask:           uint64(size - 1),
+		max:            cfg.MaxSessions,
+		onEvict:        cfg.OnEvict,
+		recoverWorkers: cfg.RecoveryParallelism,
+		inflight:       make(map[string]*idLock),
 	}
 	for i := range e.shards {
 		e.shards[i].sessions = make(map[string]*Session)
 	}
 	return e
+}
+
+// lockID acquires the per-id transition lock for id, creating it on first
+// use. Pair with unlockID.
+func (e *Engine) lockID(id string) *idLock {
+	e.idMu.Lock()
+	l := e.inflight[id]
+	if l == nil {
+		l = &idLock{}
+		e.inflight[id] = l
+	}
+	l.refs++
+	e.idMu.Unlock()
+	l.mu.Lock()
+	return l
+}
+
+// unlockID releases a per-id transition lock, dropping it from the map when
+// no other operation holds or awaits it.
+func (e *Engine) unlockID(id string, l *idLock) {
+	l.mu.Unlock()
+	e.idMu.Lock()
+	l.refs--
+	if l.refs == 0 {
+		delete(e.inflight, id)
+	}
+	e.idMu.Unlock()
 }
 
 // Open creates an engine and, when cfg.DataDir is set, attaches the
@@ -138,34 +198,137 @@ func Open(cfg Config) (*Engine, error) {
 	// Recover at most MaxSessions eagerly; the rest stay on disk and revive
 	// lazily through Load/GetOrLoad — replaying a session only to evict it
 	// straight back out would make boot O(total journal bytes) instead of
-	// O(cap).
+	// O(cap). The budget goes to the most recently modified journals (the
+	// sessions that were hot when the previous process stopped), so a warm
+	// boot approximates the LRU-warm working set instead of whatever prefix
+	// the sorted listing happens to start with.
 	if e.max > 0 && len(ids) > e.max {
-		ids = ids[:e.max]
-	}
-	for _, id := range ids {
-		s, err := e.recoverSession(id)
+		recent, err := store.IDsByMTime()
 		if err != nil {
-			e.Close()
 			return nil, err
 		}
-		sh := e.shardFor(id)
-		sh.mu.Lock()
-		sh.sessions[id] = s
-		sh.mu.Unlock()
-		e.count.Add(1)
+		ids = recent[:e.max]
 	}
+	start := time.Now()
+	if err := e.recoverAll(ids); err != nil {
+		// Nothing was inserted into the shard table on error; close the
+		// journals the successful workers opened, then the store.
+		store.Close()
+		return nil, err
+	}
+	e.bootSessions = len(ids)
+	e.bootNanos = int64(time.Since(start))
 	// No background flusher here: the store's group-commit Syncer (one
 	// goroutine per store, inside package wal) bounds how long acknowledged
 	// frames sit in any journal's user-space buffer.
 	return e, nil
 }
 
+// recoverAll replays ids across a bounded worker pool and inserts the
+// recovered sessions into the shard table, all or nothing. Workers claim ids
+// in slice order off an atomic cursor; each session replays independently
+// with a per-worker columnar scratch, so results are bit-identical at any
+// worker count. Error semantics are deterministic too: the error of the
+// lowest-index failing id is returned — the same one serial recovery would
+// hit — regardless of which worker stumbled first. (Claims are monotone, so
+// once any id fails, every unclaimed id has a higher index than every failing
+// claimed one; skipping the remainder can never hide an earlier error.)
+func (e *Engine) recoverAll(ids []string) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	workers := e.recoverWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	type outcome struct {
+		s   *Session
+		err error
+	}
+	results := make([]outcome, len(ids))
+	var (
+		cursor atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var cols votelog.VoteColumns // reused across this worker's sessions
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(ids) || failed.Load() {
+					return
+				}
+				s, err := e.recoverSession(ids[i], &cols)
+				results[i] = outcome{s: s, err: err}
+				if err != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err == nil {
+			continue
+		}
+		// Unwind: every journal a worker opened must be closed, or the files
+		// would stay locked into a dead engine.
+		for _, done := range results {
+			if done.s != nil {
+				done.s.closeJournal()
+			}
+		}
+		return r.err
+	}
+	for i, id := range ids {
+		sh := e.shardFor(id)
+		sh.mu.Lock()
+		sh.sessions[id] = results[i].s
+		sh.mu.Unlock()
+		e.count.Add(1)
+	}
+	return nil
+}
+
+// BootRecovery reports what Open's boot recovery did: how many sessions were
+// replayed eagerly and how long the (possibly parallel) replay took. Zero
+// values on in-memory engines and empty stores.
+func (e *Engine) BootRecovery() (sessions int, elapsed time.Duration) {
+	return e.bootSessions, time.Duration(e.bootNanos)
+}
+
 // Durable reports whether the engine persists sessions to disk.
 func (e *Engine) Durable() bool { return e.store != nil }
 
+// testRecoverStall, when set (tests only), runs at the top of every journal
+// replay with the session id — the hook tests use to hold one recovery open
+// while asserting that loads of other sessions proceed, and to count how many
+// replays a burst of duplicate loads actually performed.
+var testRecoverStall func(id string)
+
 // recoverSession rebuilds one session from its journal: latest snapshot plus
-// journal tail, replayed through the ordinary suite ingest path.
-func (e *Engine) recoverSession(id string) (*Session, error) {
+// journal tail. Replay is columnar — vote records are decoded into cols
+// (reused across sessions by the boot workers; pass nil to allocate) and
+// applied in task-sized batches, so recovery looks like AppendColumns rather
+// than a stream of single-vote appends: one bounds-check pass and one
+// rotation cross-check per batch instead of per vote, no per-vote hook
+// indirection, and no estimate-cache or per-vote metric traffic until the
+// session goes live (the version is published once, at the end).
+func (e *Engine) recoverSession(id string, cols *votelog.VoteColumns) (*Session, error) {
+	start := time.Now()
+	defer metricRecoverySeconds.ObserveSince(start)
+	if testRecoverStall != nil {
+		testRecoverStall(id)
+	}
+	if cols == nil {
+		cols = &votelog.VoteColumns{}
+	}
 	meta, err := e.store.ReadMeta(id)
 	if err != nil {
 		return nil, err
@@ -203,7 +366,35 @@ func (e *Engine) recoverSession(id string) (*Session, error) {
 		}
 		return nil
 	}
+	// The batched path range-checks against the int32 image of the
+	// population; a population beyond int32 admits every decodable item
+	// (columnar encoding cannot express larger ones).
+	limit := int32(math.MaxInt32)
+	if n <= math.MaxInt32 {
+		limit = int32(n)
+	}
 	j, err := e.store.Recover(id, wal.Hooks{
+		Votes: func(cols *votelog.VoteColumns) error {
+			if err := checkNoPending(); err != nil {
+				return err
+			}
+			for _, item := range cols.Item {
+				if item >= limit {
+					return fmt.Errorf("engine: journaled item %d outside population [0, %d)", item, n)
+				}
+			}
+			for i := range cols.Item {
+				label := votes.Clean
+				if cols.Dirty[i] {
+					label = votes.Dirty
+				}
+				s.applyVote(votes.Vote{Item: int(cols.Item[i]), Worker: int(cols.Worker[i]), Label: label})
+			}
+			return nil
+		},
+		Cols: cols,
+		// Vote is the ordered fallback for records outside the columnar int32
+		// domain (possible via the Entry-path journal encoding).
 		Vote: func(item, worker int, dirty bool) error {
 			if err := checkNoPending(); err != nil {
 				return err
@@ -304,16 +495,17 @@ func (e *Engine) Create(id string, n int, cfg SessionConfig) (*Session, error) {
 	if _, dup := e.Get(id); dup {
 		return nil, fmt.Errorf("engine: session %q already exists", id)
 	}
-	// OnEvict must fire after loadMu is released (deferred LIFO: this runs
-	// after the unlock below), so the callback may re-enter the engine.
+	// OnEvict must fire after the id lock is released (deferred LIFO: this
+	// runs after the unlock below), so the callback may re-enter the engine.
 	var evicted []string
 	defer func() { e.notifyEvicted(evicted) }()
 	if e.store != nil {
-		// Hold loadMu across directory creation and table insertion so a
-		// concurrent Load cannot observe the files of a session that is not
-		// registered yet (and recover a second journal onto them).
-		e.loadMu.Lock()
-		defer e.loadMu.Unlock()
+		// Hold this id's transition lock across directory creation and table
+		// insertion so a concurrent Load of the same id cannot observe the
+		// files of a session that is not registered yet (and recover a second
+		// journal onto them). Creates and loads of other ids proceed.
+		l := e.lockID(id)
+		defer e.unlockID(id, l)
 		if e.store.Exists(id) {
 			return nil, fmt.Errorf("engine: session %q already exists on disk", id)
 		}
@@ -360,11 +552,12 @@ func (e *Engine) Create(id string, n int, cfg SessionConfig) (*Session, error) {
 
 // evictLRU removes the least-recently-used session from memory, skipping
 // keep (the id about to be created). On a durable engine the victim's
-// journal is flushed and closed but its files stay for a later Load; every
-// durable caller (Create, Load) holds loadMu, so a concurrent Load cannot
-// recover the victim's files while its journal still has buffered frames.
-// It returns the evicted id; notifying OnEvict is the caller's job, after
-// it has released loadMu — the callback may re-enter the engine.
+// journal is flushed and closed under the victim's id lock, so a concurrent
+// Load of the victim cannot recover its files while its journal still has
+// buffered frames — and, conversely, a victim mid-Load is not detached until
+// its load finished. It returns the evicted id; notifying OnEvict is the
+// caller's job, after it has released every engine lock — the callback may
+// re-enter the engine.
 func (e *Engine) evictLRU(keep string) (string, bool) {
 	var (
 		victim     string
@@ -386,8 +579,18 @@ func (e *Engine) evictLRU(keep string) (string, bool) {
 	if victim == "" {
 		return "", false
 	}
-	if s, ok := e.detach(victim); ok {
+	// Deadlock-free even though the caller already holds its own id's lock:
+	// victims are live sessions, an in-flight Create/Load's own id is never
+	// live before its insert, and whoever holds a live id's lock (Delete,
+	// another evictor, a just-finishing Load) releases it without waiting on
+	// further id locks — waits form a chain, never a cycle.
+	l := e.lockID(victim)
+	s, ok := e.detach(victim)
+	if ok {
 		s.closeJournal()
+	}
+	e.unlockID(victim, l)
+	if ok {
 		e.evictions.Add(1)
 		metricEvictions.Inc()
 		return victim, true
@@ -425,6 +628,11 @@ func (e *Engine) detach(id string) (*Session, bool) {
 // Load revives a journaled session that is not in memory (evicted, or
 // written by an earlier process when the engine skipped boot recovery). It
 // is a no-op returning the live session when one exists.
+//
+// Cold loads singleflight per id: concurrent Loads of N distinct evicted
+// sessions replay their journals concurrently (no global lock), while
+// duplicate concurrent Loads of one id coalesce — the first does the replay,
+// the rest block on the id's transition lock and then find the live session.
 func (e *Engine) Load(id string) (*Session, error) {
 	if s, ok := e.Get(id); ok {
 		return s, nil
@@ -436,10 +644,10 @@ func (e *Engine) Load(id string) (*Session, error) {
 	// and may re-enter the engine.
 	var evicted []string
 	defer func() { e.notifyEvicted(evicted) }()
-	e.loadMu.Lock()
-	defer e.loadMu.Unlock()
+	l := e.lockID(id)
+	defer e.unlockID(id, l)
 	if s, ok := e.Get(id); ok {
-		return s, nil
+		return s, nil // a concurrent load won the id lock first; coalesce
 	}
 	if !e.store.Exists(id) {
 		return nil, fmt.Errorf("engine: no journaled session %q", id)
@@ -453,7 +661,9 @@ func (e *Engine) Load(id string) (*Session, error) {
 			evicted = append(evicted, victim)
 		}
 	}
-	s, err := e.recoverSession(id)
+	metricLoadsInflight.Inc()
+	s, err := e.recoverSession(id, nil)
+	metricLoadsInflight.Dec()
 	if err != nil {
 		return nil, err
 	}
@@ -547,10 +757,10 @@ func (e *Engine) Get(id string) (*Session, bool) {
 // silently diverging from the deleted journal.
 func (e *Engine) Delete(id string) bool {
 	if e.store != nil {
-		// Serialize against Load: files must not be removed while a
-		// concurrent recovery is replaying (and about to reopen) them.
-		e.loadMu.Lock()
-		defer e.loadMu.Unlock()
+		// Serialize against a Load of the same id: files must not be removed
+		// while a concurrent recovery is replaying (and about to reopen) them.
+		l := e.lockID(id)
+		defer e.unlockID(id, l)
 	}
 	s, ok := e.detach(id)
 	if ok {

@@ -28,6 +28,11 @@ var (
 		"Sessions rebuilt from their journals (boot recovery and on-demand revival).")
 	metricSessionLoads = metrics.Default.Counter("dqm_engine_session_loads_total",
 		"Evicted-or-cold sessions revived from disk via Load/GetOrLoad.")
+	metricLoadsInflight = metrics.Default.Gauge("dqm_engine_loads_inflight",
+		"Cold session loads currently replaying a journal. With per-id load singleflight, distinct sessions replay concurrently, so this can exceed 1.")
+	metricRecoverySeconds = metrics.Default.Histogram("dqm_engine_recovery_seconds",
+		"Per-session journal replay duration (boot recovery and on-demand loads).",
+		metrics.DurationBuckets)
 	metricEvictions = metrics.Default.Counter("dqm_engine_evictions_total",
 		"Sessions dropped from memory by the MaxSessions LRU policy.")
 	metricSessionsDeleted = metrics.Default.Counter("dqm_engine_sessions_deleted_total",

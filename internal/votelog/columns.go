@@ -39,6 +39,15 @@ func (c *VoteColumns) Reset() {
 // the caller knows N.
 func (c *VoteColumns) Decode(raw []byte) error {
 	c.Reset()
+	return c.DecodeAppend(raw)
+}
+
+// DecodeAppend is Decode without the reset: decoded votes append to whatever
+// the columns already hold. WAL replay uses it to accumulate consecutive vote
+// records (plain and columnar alike) into one task-sized batch before
+// applying them — the batching that makes recovery look like columnar ingest
+// rather than a stream of single-vote appends.
+func (c *VoteColumns) DecodeAppend(raw []byte) error {
 	for len(raw) > 0 {
 		if raw[0] != binOpVote {
 			return fmt.Errorf("votelog: columnar batch: vote %d: unknown opcode 0x%02x", len(c.Item), raw[0])
@@ -63,6 +72,14 @@ func (c *VoteColumns) Decode(raw []byte) error {
 		c.Dirty = append(c.Dirty, key&1 == 1)
 	}
 	return nil
+}
+
+// Append appends one already-decoded vote row — the path single opVote WAL
+// records take into a replay batch, where there are no wire bytes to decode.
+func (c *VoteColumns) Append(item, worker int32, dirty bool) {
+	c.Item = append(c.Item, item)
+	c.Worker = append(c.Worker, worker)
+	c.Dirty = append(c.Dirty, dirty)
 }
 
 // AppendBinaryVote appends one raw 'V' record — the building block for

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"dqm/internal/votelog"
 	"dqm/internal/votes"
 )
 
@@ -41,6 +42,21 @@ type Hooks struct {
 	// completed-task index start sealed at the task boundary logged
 	// immediately before it (always in the same frame as its opEnd).
 	Window func(start int64) error
+
+	// Votes, when set, selects the batched replay path: runs of consecutive
+	// vote records — single opVote records and opColumns payloads alike —
+	// are decoded into Cols and delivered as one batch per flush point (the
+	// next non-vote record, or the end of the frame payload). Frames are the
+	// group-commit unit, so batches arrive task-sized, and batch order equals
+	// record order — replayed state is bit-identical to the per-vote path.
+	// The rare vote whose item or worker does not fit the columnar int32
+	// domain is delivered through Vote instead (after a flush, preserving
+	// order), so Vote should still be set as the fallback.
+	Votes func(cols *votelog.VoteColumns) error
+	// Cols is the reused decode scratch for Votes; replay grows it once and
+	// refills it per batch, so long journals replay without per-batch
+	// allocation. Required when Votes is set.
+	Cols *votelog.VoteColumns
 }
 
 // zigzag maps signed onto unsigned varint-friendly integers.
@@ -111,8 +127,12 @@ func decodeColumns(raw []byte, vote func(item, worker int, dirty bool) error) er
 	return nil
 }
 
-// decodeRecords streams one frame payload (or snapshot body) through h.
+// decodeRecords streams one frame payload (or snapshot body) through h,
+// selecting the batched path when h.Votes is set.
 func decodeRecords(p []byte, h Hooks) error {
+	if h.Votes != nil {
+		return decodeRecordsBatched(p, h)
+	}
 	for len(p) > 0 {
 		op := p[0]
 		p = p[1:]
@@ -171,4 +191,105 @@ func decodeRecords(p []byte, h Hooks) error {
 		}
 	}
 	return nil
+}
+
+// decodeRecordsBatched is the columnar replay fast path: vote records
+// accumulate in h.Cols and flush as one batch at every non-vote record and at
+// the end of the payload, so a journal replays in task-sized column batches
+// instead of one hook call per vote. Record order is preserved exactly —
+// batches are contiguous runs — which keeps replayed state bit-identical to
+// the per-vote path.
+func decodeRecordsBatched(p []byte, h Hooks) error {
+	cols := h.Cols
+	if cols == nil {
+		// Callers pass a reused scratch; tolerate its absence at the cost of
+		// one allocation per payload.
+		cols = &votelog.VoteColumns{}
+	}
+	flush := func() error {
+		if cols.Len() == 0 {
+			return nil
+		}
+		err := h.Votes(cols)
+		cols.Reset()
+		return err
+	}
+	for len(p) > 0 {
+		op := p[0]
+		p = p[1:]
+		switch op {
+		case opVote:
+			key, n := binary.Uvarint(p)
+			if n <= 0 || key>>1 > math.MaxInt {
+				return fmt.Errorf("wal: bad vote item varint")
+			}
+			p = p[n:]
+			w, n := binary.Uvarint(p)
+			if n <= 0 {
+				return fmt.Errorf("wal: bad vote worker varint")
+			}
+			p = p[n:]
+			worker := unzigzag(w)
+			if int64(int(worker)) != worker {
+				return fmt.Errorf("wal: worker id %d out of range", worker)
+			}
+			if key>>1 <= math.MaxInt32 && worker >= math.MinInt32 && worker <= math.MaxInt32 {
+				cols.Append(int32(key>>1), int32(worker), key&1 == 1)
+				continue
+			}
+			// Outside the columnar int32 domain: deliver in order through the
+			// per-vote fallback.
+			if err := flush(); err != nil {
+				return err
+			}
+			if h.Vote != nil {
+				if err := h.Vote(int(key>>1), int(worker), key&1 == 1); err != nil {
+					return err
+				}
+			}
+		case opEnd:
+			if err := flush(); err != nil {
+				return err
+			}
+			if h.EndTask != nil {
+				h.EndTask()
+			}
+		case opReset:
+			if err := flush(); err != nil {
+				return err
+			}
+			if h.Reset != nil {
+				h.Reset()
+			}
+		case opWindow:
+			start, n := binary.Uvarint(p)
+			if n <= 0 || start > math.MaxInt64 {
+				return fmt.Errorf("wal: bad window start varint")
+			}
+			p = p[n:]
+			if err := flush(); err != nil {
+				return err
+			}
+			if h.Window != nil {
+				if err := h.Window(int64(start)); err != nil {
+					return err
+				}
+			}
+		case opColumns:
+			size, n := binary.Uvarint(p)
+			if n <= 0 || size > maxColumnsLen || size > uint64(len(p)-n) {
+				return fmt.Errorf("wal: bad columnar record length")
+			}
+			p = p[n:]
+			// The embedded 'V' records are votelog's own encoding: append them
+			// to the open batch without a per-vote hook round trip.
+			if err := cols.DecodeAppend(p[:size]); err != nil {
+				return fmt.Errorf("wal: columnar record: %w", err)
+			}
+			p = p[size:]
+		default:
+			return fmt.Errorf("wal: unknown record opcode 0x%02x", op)
+		}
+	}
+	return flush()
 }

@@ -154,11 +154,31 @@ func (s *Store) Exists(id string) bool {
 
 // IDs returns every session id with a directory in the store, sorted.
 func (s *Store) IDs() ([]string, error) {
+	listed, err := s.listIDs()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(listed))
+	for i, l := range listed {
+		out[i] = l.id
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// listedID pairs a recoverable session id with its directory name.
+type listedID struct {
+	id  string
+	dir string
+}
+
+// listIDs enumerates recoverable session ids (unordered).
+func (s *Store) listIDs() ([]listedID, error) {
 	ents, err := os.ReadDir(s.dir)
 	if err != nil {
 		return nil, err
 	}
-	var out []string
+	var out []listedID
 	for _, e := range ents {
 		if !e.IsDir() {
 			continue
@@ -169,7 +189,7 @@ func (s *Store) IDs() ([]string, error) {
 			// meta.json. A dir whose meta is unreadable is skipped (it is
 			// not recoverable anyway).
 			if m, err := readMetaFile(filepath.Join(s.dir, name)); err == nil {
-				out = append(out, m.ID)
+				out = append(out, listedID{id: m.ID, dir: name})
 			}
 			continue
 		}
@@ -183,11 +203,52 @@ func (s *Store) IDs() ([]string, error) {
 			continue
 		}
 		if id, ok := idFromDir(name); ok {
-			out = append(out, id)
+			out = append(out, listedID{id: id, dir: name})
 		}
 	}
-	sort.Strings(out)
 	return out, nil
+}
+
+// IDsByMTime returns every recoverable session id, most recently modified
+// first (ties broken by id, so the order is deterministic). A session's
+// modification time is the newest mtime among the files in its directory —
+// appends touch the active segment, compaction the snapshot — so the front of
+// the list is the set of sessions that were hot when the previous process
+// stopped. Boot recovery uses it to spend a bounded MaxSessions budget on the
+// LRU-warm sessions instead of an arbitrary listing prefix.
+func (s *Store) IDsByMTime() ([]string, error) {
+	listed, err := s.listIDs()
+	if err != nil {
+		return nil, err
+	}
+	type stamped struct {
+		id string
+		at time.Time
+	}
+	out := make([]stamped, 0, len(listed))
+	for _, l := range listed {
+		var newest time.Time
+		ents, err := os.ReadDir(filepath.Join(s.dir, l.dir))
+		if err == nil {
+			for _, e := range ents {
+				if info, err := e.Info(); err == nil && info.ModTime().After(newest) {
+					newest = info.ModTime()
+				}
+			}
+		}
+		out = append(out, stamped{id: l.id, at: newest})
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].at.Equal(out[k].at) {
+			return out[i].at.After(out[k].at)
+		}
+		return out[i].id < out[k].id
+	})
+	ids := make([]string, len(out))
+	for i, s := range out {
+		ids[i] = s.id
+	}
+	return ids, nil
 }
 
 // Delete removes a session's directory and everything in it, reporting

@@ -566,3 +566,46 @@ func TestAbortedCreateDirIsReclaimed(t *testing.T) {
 		t.Fatal("orphan dir survived Delete")
 	}
 }
+
+// TestStoreIDsByMTimeOrderingForRecovery: the mtime listing boot recovery
+// budgets from must come back newest-first, with ties broken by id so the
+// order is deterministic.
+func TestStoreIDsByMTimeOrderingForRecovery(t *testing.T) {
+	s := testStore(t, Options{Fsync: FsyncNever})
+	for _, id := range []string{"alpha", "beta", "gamma", "delta"} {
+		j, err := s.Create(Meta{ID: id, Items: 10, CreatedAt: time.Now()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := time.Now().Add(-48 * time.Hour)
+	stamp := map[string]time.Time{
+		"alpha": base.Add(2 * time.Hour),
+		"beta":  base, // tied with delta: id order breaks the tie
+		"gamma": base.Add(3 * time.Hour),
+		"delta": base,
+	}
+	for id, ts := range stamp {
+		dir := filepath.Join(s.Dir(), id)
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if err := os.Chtimes(filepath.Join(dir, e.Name()), ts, ts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, err := s.IDsByMTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"gamma", "alpha", "beta", "delta"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("IDsByMTime() = %v, want %v", got, want)
+	}
+}
