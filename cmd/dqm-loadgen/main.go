@@ -23,7 +23,10 @@
 // (70/30 binary-ingest/poll), poll (10/90 ingest/estimate-poll), mixed
 // (70/30), watch (90/10 plus -watchers SSE subscribers), drift (windowed
 // sessions; the generated error rate jumps 0.05→0.30 after 200 tasks per
-// worker, the regime windowed estimation exists for), restart (populate
+// worker, the regime windowed estimation exists for), poll-dirty (45/45/10
+// ingest/poll/CI-poll on confidence-tracked sessions — the report separates
+// dirty-read latency from bootstrap-CI latency, with ingest's percentiles
+// showing the cost of a CI running concurrently), restart (populate
 // -sessions durable sessions, then cycle timed engine reboots measuring boot
 // recovery time and first-estimate latency; honors -recovery-parallelism).
 //
@@ -73,7 +76,7 @@ func main() {
 	fs := flag.NewFlagSet("dqm-loadgen", flag.ExitOnError)
 	var cfg config
 	fs.StringVar(&cfg.Target, "target", "", "dqm-serve base URL (empty = drive the engine in-process)")
-	fs.StringVar(&cfg.Scenario, "scenario", "mixed", "workload scenario: ingest, binary-ingest, binary-mixed, poll, mixed, watch, drift or restart")
+	fs.StringVar(&cfg.Scenario, "scenario", "mixed", "workload scenario: ingest, binary-ingest, binary-mixed, poll, mixed, watch, drift, poll-dirty or restart")
 	fs.IntVar(&cfg.Sessions, "sessions", 4, "concurrent sessions")
 	fs.IntVar(&cfg.Workers, "workers", 8, "concurrent load workers")
 	fs.DurationVar(&cfg.Duration, "duration", 5*time.Second, "measurement duration")
@@ -204,9 +207,9 @@ func run(cfg config) (*report, error) {
 
 	var d driver
 	if cfg.Target != "" {
-		d, err = newHTTPDriver(cfg, sc.Windowed)
+		d, err = newHTTPDriver(cfg, sc)
 	} else {
-		d, err = newInprocDriver(cfg, sc.Windowed)
+		d, err = newInprocDriver(cfg, sc)
 	}
 	if err != nil {
 		return nil, err
@@ -384,6 +387,13 @@ func windowCfg() *dqm.WindowConfig {
 	return &dqm.WindowConfig{Size: 50, Stride: 25, DecayAlpha: 0.3}
 }
 
+// ciReplicates/ciLevel parameterize the bootstrap CI the ci_poll op requests
+// (the serve default of 200 replicates at 95%).
+const (
+	ciReplicates = 200
+	ciLevel      = 0.95
+)
+
 // ---- in-process driver ----
 
 type inprocDriver struct {
@@ -391,7 +401,7 @@ type inprocDriver struct {
 	sess []*dqm.Session
 }
 
-func newInprocDriver(cfg config, windowed bool) (*inprocDriver, error) {
+func newInprocDriver(cfg config, sc scenario) (*inprocDriver, error) {
 	var (
 		eng *dqm.Engine
 		err error
@@ -406,9 +416,10 @@ func newInprocDriver(cfg config, windowed bool) (*inprocDriver, error) {
 	}
 	d := &inprocDriver{eng: eng}
 	dcfg := dqm.Defaults()
-	if windowed {
+	if sc.Windowed {
 		dcfg.Window = windowCfg()
 	}
+	dcfg.TrackConfidence = sc.TrackConfidence
 	for k := 0; k < cfg.Sessions; k++ {
 		s, err := eng.CreateSession(sessionID(k), cfg.Items, dcfg)
 		if err != nil {
@@ -437,6 +448,9 @@ func (d *inprocDriver) do(_ context.Context, o op) error {
 		return nil
 	case opWindowPoll:
 		_, err := s.WindowEstimates(dqm.WindowCurrent)
+		return err
+	case opCIPoll:
+		_, err := s.SwitchCI(ciReplicates, ciLevel)
 		return err
 	}
 	return fmt.Errorf("unknown op kind %v", o.Kind)
@@ -474,7 +488,7 @@ type httpDriver struct {
 	batchBuf sync.Pool
 }
 
-func newHTTPDriver(cfg config, windowed bool) (*httpDriver, error) {
+func newHTTPDriver(cfg config, sc scenario) (*httpDriver, error) {
 	d := &httpDriver{
 		base: strings.TrimRight(cfg.Target, "/"),
 		client: &http.Client{
@@ -491,11 +505,18 @@ func newHTTPDriver(cfg config, windowed bool) (*httpDriver, error) {
 	defer cancel()
 	for k := 0; k < cfg.Sessions; k++ {
 		body := map[string]any{"id": sessionID(k), "items": cfg.Items}
-		if windowed {
+		sessCfg := map[string]any{}
+		if sc.Windowed {
 			w := windowCfg()
-			body["config"] = map[string]any{"window": map[string]any{
+			sessCfg["window"] = map[string]any{
 				"size": w.Size, "stride": w.Stride, "decay_alpha": w.DecayAlpha,
-			}}
+			}
+		}
+		if sc.TrackConfidence {
+			sessCfg["track_confidence"] = true
+		}
+		if len(sessCfg) > 0 {
+			body["config"] = sessCfg
 		}
 		status, err := d.postJSON(ctx, "/v1/sessions", body)
 		if err != nil {
@@ -591,6 +612,8 @@ func (d *httpDriver) do(ctx context.Context, o op) error {
 		return d.expectOK(d.get(ctx, "/v1/sessions/"+id+"/estimates"))
 	case opWindowPoll:
 		return d.expectOK(d.get(ctx, "/v1/sessions/"+id+"/estimates?window=current"))
+	case opCIPoll:
+		return d.expectOK(d.get(ctx, fmt.Sprintf("/v1/sessions/%s/estimates?ci=%g&replicates=%d", id, ciLevel, ciReplicates)))
 	}
 	return fmt.Errorf("unknown op kind %v", o.Kind)
 }

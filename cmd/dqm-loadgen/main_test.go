@@ -193,6 +193,28 @@ func TestRunWatchAndDriftScenarios(t *testing.T) {
 	}
 }
 
+// TestRunPollDirtyScenario smoke-runs the poll-dirty mix: confidence-tracked
+// sessions must serve bootstrap-CI reads alongside plain estimate polls with
+// zero errors, and the report must split the two read kinds.
+func TestRunPollDirtyScenario(t *testing.T) {
+	rep, err := run(config{
+		Scenario: "poll-dirty", Sessions: 2, Workers: 2,
+		Duration: 250 * time.Millisecond, Items: 100, Batch: 5, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors != 0 {
+		t.Fatalf("poll-dirty scenario errors:\n%s", rep.summary())
+	}
+	if _, ok := rep.Ops["ci_poll"]; !ok {
+		t.Errorf("poll-dirty scenario made no CI reads: %+v", rep.Ops)
+	}
+	if _, ok := rep.Ops["poll"]; !ok {
+		t.Errorf("poll-dirty scenario made no plain polls: %+v", rep.Ops)
+	}
+}
+
 // TestRunBinaryIngestScenario smoke-runs the binary DQMV ingest path, both
 // in-memory and journaled (where binary batches ride the columnar WAL
 // record), checking the report carries the binary_ingest op.
@@ -236,7 +258,7 @@ func TestRunDurableInProcess(t *testing.T) {
 // enough of the dqm-serve wire protocol, verifying paths and payloads (the
 // real server is covered by cmd/dqm-serve's own tests).
 func TestHTTPDriver(t *testing.T) {
-	var creates, ingests, binaryIngests, polls, windowPolls int
+	var creates, ingests, binaryIngests, polls, windowPolls, ciPolls int
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		creates++
@@ -263,9 +285,15 @@ func TestHTTPDriver(t *testing.T) {
 		w.WriteHeader(http.StatusOK)
 	})
 	mux.HandleFunc("GET /v1/sessions/{id}/estimates", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Query().Get("window") == "current" {
+		switch {
+		case r.URL.Query().Get("window") == "current":
 			windowPolls++
-		} else {
+		case r.URL.Query().Get("ci") != "":
+			if r.URL.Query().Get("replicates") == "" {
+				t.Errorf("ci poll missing replicates: %s", r.URL.RawQuery)
+			}
+			ciPolls++
+		default:
 			polls++
 		}
 		w.WriteHeader(http.StatusOK)
@@ -273,7 +301,7 @@ func TestHTTPDriver(t *testing.T) {
 	hs := httptest.NewServer(mux)
 	defer hs.Close()
 
-	d, err := newHTTPDriver(config{Target: hs.URL, Sessions: 2, Items: 50, Workers: 1}, false)
+	d, err := newHTTPDriver(config{Target: hs.URL, Sessions: 2, Items: 50, Workers: 1}, scenario{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,13 +314,15 @@ func TestHTTPDriver(t *testing.T) {
 		{Kind: opBinaryIngest, Session: 1, Votes: []genVote{{Item: 3, Worker: 4, Dirty: false}}},
 		{Kind: opPoll, Session: 1},
 		{Kind: opWindowPoll, Session: 0},
+		{Kind: opCIPoll, Session: 1},
 	}
 	for _, o := range ops {
 		if err := d.do(context.Background(), o); err != nil {
 			t.Fatalf("do(%v): %v", o.Kind, err)
 		}
 	}
-	if ingests != 1 || binaryIngests != 1 || polls != 1 || windowPolls != 1 {
-		t.Errorf("stub saw ingests=%d binary=%d polls=%d windowPolls=%d", ingests, binaryIngests, polls, windowPolls)
+	if ingests != 1 || binaryIngests != 1 || polls != 1 || windowPolls != 1 || ciPolls != 1 {
+		t.Errorf("stub saw ingests=%d binary=%d polls=%d windowPolls=%d ciPolls=%d",
+			ingests, binaryIngests, polls, windowPolls, ciPolls)
 	}
 }

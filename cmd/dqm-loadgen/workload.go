@@ -14,6 +14,7 @@ const (
 	opBinaryIngest
 	opPoll
 	opWindowPoll
+	opCIPoll
 	numOpKinds
 )
 
@@ -28,6 +29,8 @@ func (k opKind) String() string {
 		return "poll"
 	case opWindowPoll:
 		return "window_poll"
+	case opCIPoll:
+		return "ci_poll"
 	default:
 		return fmt.Sprintf("op(%d)", int(k))
 	}
@@ -52,11 +55,16 @@ type op struct {
 type scenario struct {
 	Name string
 	// Ingest posts JSON vote batches; BinaryIngest posts the same generated
-	// batches in the binary DQMV encoding (the columnar fast path).
-	Ingest, BinaryIngest, Poll, WindowPoll int
+	// batches in the binary DQMV encoding (the columnar fast path). CIPoll
+	// requests a bootstrap confidence interval with the estimates — the
+	// expensive read the off-mutex CI plane keeps out of ingest's way.
+	Ingest, BinaryIngest, Poll, WindowPoll, CIPoll int
 	// Windowed creates sessions with a window config (required for
 	// WindowPoll weight > 0 and for drift tracking).
 	Windowed bool
+	// TrackConfidence creates sessions with per-item ledger retention
+	// (required for CIPoll weight > 0).
+	TrackConfidence bool
 	// Drift shifts the generated error rate from baseErrRate to
 	// driftErrRate once a worker has generated driftAfterTasks tasks — the
 	// windowed-estimation regime where the recent-window estimate diverges
@@ -77,6 +85,11 @@ var scenarios = []scenario{
 	{Name: "mixed", Ingest: 70, Poll: 30},
 	{Name: "watch", Ingest: 90, Poll: 10, Watch: true},
 	{Name: "drift", Ingest: 80, Poll: 10, WindowPoll: 10, Windowed: true, Drift: true},
+	// poll-dirty separates the two read regimes the incremental estimation
+	// plane distinguishes: dirty reads (poll right after ingest → memo
+	// refresh) and bootstrap-CI reads, with ingest continuing underneath.
+	// The report's per-kind rows give each path its own percentiles.
+	{Name: "poll-dirty", Ingest: 45, Poll: 45, CIPoll: 10, TrackConfidence: true},
 	// restart is not an op-mix scenario: it populates durable sessions, then
 	// cycles timed engine reboots (see runRestart in restart.go).
 	{Name: "restart"},
@@ -140,8 +153,10 @@ func (g *opGen) Next() op {
 		g.fillVotes(&o)
 	case p < sc.Ingest+sc.BinaryIngest+sc.Poll:
 		o.Kind = opPoll
-	default:
+	case p < sc.Ingest+sc.BinaryIngest+sc.Poll+sc.WindowPoll:
 		o.Kind = opWindowPoll
+	default:
+		o.Kind = opCIPoll
 	}
 	return o
 }

@@ -102,6 +102,7 @@ func main() {
 		fsyncMode   = fs.String("fsync", "batch", "journal fsync policy: batch, always or never")
 		fsyncEvery  = fs.Duration("fsync-interval", 100*time.Millisecond, "max fsync staleness under -fsync batch")
 		recoverPar  = fs.Int("recovery-parallelism", 0, "concurrent session replays during boot recovery (0 = GOMAXPROCS, 1 = serial)")
+		bootPar     = fs.Int("bootstrap-parallelism", 0, "worker goroutines per bootstrap CI (0 = per-CPU default, 1 = serial; intervals are identical at any setting)")
 		drainWait   = fs.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 		enablePprof = fs.Bool("pprof", false, "expose /debug/pprof/ runtime profiles")
 		statsEvery  = fs.Duration("log-stats-interval", 0, "log a one-line stats summary at this interval (0 = off)")
@@ -113,17 +114,18 @@ func main() {
 		log.Fatal(err)
 	}
 	srv, err := newServer(serverConfig{
-		Shards:              *shards,
-		MaxSessions:         *maxSessions,
-		MaxBatch:            *maxBatch,
-		MaxBodyBytes:        *maxBody,
-		WatchMinInterval:    *watchMinIv,
-		DataDir:             *dataDir,
-		Fsync:               fsync,
-		FsyncInterval:       *fsyncEvery,
-		RecoveryParallelism: *recoverPar,
-		EnablePprof:         *enablePprof,
-		LogStatsInterval:    *statsEvery,
+		Shards:               *shards,
+		MaxSessions:          *maxSessions,
+		MaxBatch:             *maxBatch,
+		MaxBodyBytes:         *maxBody,
+		WatchMinInterval:     *watchMinIv,
+		DataDir:              *dataDir,
+		Fsync:                fsync,
+		FsyncInterval:        *fsyncEvery,
+		RecoveryParallelism:  *recoverPar,
+		BootstrapParallelism: *bootPar,
+		EnablePprof:          *enablePprof,
+		LogStatsInterval:     *statsEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -208,6 +210,10 @@ type serverConfig struct {
 	// RecoveryParallelism bounds concurrent session replays during boot
 	// recovery; 0 selects GOMAXPROCS, 1 recovers serially.
 	RecoveryParallelism int
+	// BootstrapParallelism bounds worker goroutines per bootstrap CI; 0
+	// selects a per-CPU default, 1 computes serially. Intervals are
+	// bit-identical at any setting.
+	BootstrapParallelism int
 	// EnablePprof exposes /debug/pprof/ runtime profiles.
 	EnablePprof bool
 	// LogStatsInterval, when positive, logs a one-line operational summary
@@ -266,10 +272,11 @@ func newServer(cfg serverConfig) (*server, error) {
 		MaxSessions: cfg.MaxSessions,
 		// LRU-evicted sessions must not leak their server-side snapshots (or
 		// resurrect them under a reused id).
-		OnEvict:             s.dropSnapshots,
-		Fsync:               cfg.Fsync,
-		FsyncInterval:       cfg.FsyncInterval,
-		RecoveryParallelism: cfg.RecoveryParallelism,
+		OnEvict:              s.dropSnapshots,
+		Fsync:                cfg.Fsync,
+		FsyncInterval:        cfg.FsyncInterval,
+		RecoveryParallelism:  cfg.RecoveryParallelism,
+		BootstrapParallelism: cfg.BootstrapParallelism,
 	}
 	if cfg.DataDir != "" {
 		eng, err := dqm.OpenEngine(cfg.DataDir, engineCfg)
@@ -855,8 +862,9 @@ func (s *server) handleEstimates(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		// The bootstrap holds the session lock for O(replicates·N); an
-		// unbounded count would let one request stall the session's ingest.
+		// The bootstrap resamples off the session lock (ingest proceeds
+		// concurrently), but each replicate still costs O(N) compute; an
+		// unbounded count would let one request monopolize the CI workers.
 		const maxReplicates = 10000
 		if reps > maxReplicates {
 			writeError(w, http.StatusBadRequest, "replicates %d exceeds limit %d", reps, maxReplicates)

@@ -385,16 +385,23 @@ type EngineConfig struct {
 	// sessions are independent journals — so this only trades boot wall-clock
 	// against replay CPU/IO concurrency.
 	RecoveryParallelism int
+	// BootstrapParallelism bounds the worker pool each session fans
+	// bootstrap confidence-interval replicates over. 0 selects a per-CPU
+	// default (capped at 8); 1 computes replicates serially. Intervals are
+	// bit-identical at any setting — replicate RNG streams are addressed by
+	// index, so the fan-out only changes wall-clock.
+	BootstrapParallelism int
 }
 
 // walOptions lowers the public durability knobs.
 func (cfg EngineConfig) engineConfig() engine.Config {
 	return engine.Config{
-		Shards:              cfg.Shards,
-		MaxSessions:         cfg.MaxSessions,
-		OnEvict:             cfg.OnEvict,
-		DataDir:             cfg.DataDir,
-		RecoveryParallelism: cfg.RecoveryParallelism,
+		Shards:               cfg.Shards,
+		MaxSessions:          cfg.MaxSessions,
+		OnEvict:              cfg.OnEvict,
+		DataDir:              cfg.DataDir,
+		RecoveryParallelism:  cfg.RecoveryParallelism,
+		BootstrapParallelism: cfg.BootstrapParallelism,
 		WAL: wal.Options{
 			Fsync:         wal.FsyncPolicy(cfg.Fsync),
 			BatchInterval: cfg.FsyncInterval,

@@ -10,6 +10,7 @@ import (
 	"dqm/internal/votes"
 	"dqm/internal/wal"
 	"dqm/internal/window"
+	"dqm/internal/xrand"
 )
 
 // syntheticBatch builds one task-sized batch of votes over n items.
@@ -162,6 +163,91 @@ func BenchmarkEstimatesCached(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkEstimatesDirty measures the dirty-read path the incremental plane
+// targets: every read follows a single-vote mutation, so the memo refreshes
+// from the running sufficient statistics instead of walking fingerprints.
+// Gated at 0 allocs/op (the vote itself and the refresh both reuse state).
+func BenchmarkEstimatesDirty(b *testing.B) {
+	const n, preTasks = 10000, 200000
+	s := NewSession("bench", n, SessionConfig{
+		Suite: estimator.SuiteConfig{WithoutHistory: true},
+	})
+	for i := 0; i < preTasks; i++ {
+		if err := s.Append(syntheticBatch(n, 10, i), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Estimates()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Record(i%n, i%25, i%3 == 0)
+		s.Estimates()
+	}
+}
+
+// BenchmarkBootstrapCI measures one bootstrap interval over a captured state:
+// "serial" on one goroutine, "parallel" over the default worker pool. The
+// intervals are bit-identical (pinned by TestBootstrapParallelDeterminism);
+// only the wall clock differs.
+func BenchmarkBootstrapCI(b *testing.B) {
+	const n, preTasks = 10000, 20000
+	s := NewSession("bench", n, SessionConfig{
+		Suite: estimator.SuiteConfig{
+			WithoutHistory: true,
+			Switch:         estimator.SwitchConfig{RetainLedgers: true},
+		},
+	})
+	for i := 0; i < preTasks; i++ {
+		if err := s.Append(syntheticBatch(n, 10, i), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st, err := s.suite.Switch.CaptureBootstrap()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Release()
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Bootstrap(200, 0.95, xrand.New(uint64(i)), workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("parallel", run(0))
+}
+
+// BenchmarkWindowedEstimates measures the windowed dirty-read path: every
+// read follows an appended task, so the current pane's suite memo refreshes
+// incrementally just like the all-time one.
+func BenchmarkWindowedEstimates(b *testing.B) {
+	const n, batchSize = 10000, 10
+	wcfg := window.Config{Size: 100, Stride: 50, DecayAlpha: 0.3}
+	s := NewSession("bench", n, SessionConfig{
+		Suite:  estimator.SuiteConfig{WithoutHistory: true},
+		Window: &wcfg,
+	})
+	batches := make([][]votes.Vote, 64)
+	for i := range batches {
+		batches[i] = syntheticBatch(n, batchSize, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(batches[i%len(batches)], true); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.WindowEstimates(window.KindCurrent); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkWindowedIngest measures the ingest-cost multiplier of windowed

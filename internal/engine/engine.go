@@ -65,6 +65,12 @@ type Config struct {
 	// Sessions are independent journals, so recovered state is bit-identical
 	// at any setting — only wall-clock boot time changes.
 	RecoveryParallelism int
+	// BootstrapParallelism bounds the worker pool each session fans bootstrap
+	// confidence-interval replicates over. 0 selects a per-CPU default
+	// (capped); 1 computes replicates serially. Intervals are bit-identical
+	// at any setting — replicate RNG streams are addressed by index, not by
+	// worker.
+	BootstrapParallelism int
 }
 
 // Engine manages many concurrent estimation sessions.
@@ -82,6 +88,9 @@ type Engine struct {
 	// recoverWorkers bounds boot-recovery concurrency (resolved from
 	// Config.RecoveryParallelism; 0 = GOMAXPROCS at Open time).
 	recoverWorkers int
+	// ciWorkers is the per-session bootstrap pool width (resolved lazily by
+	// the bootstrap itself when 0; see Config.BootstrapParallelism).
+	ciWorkers int
 	// bootSessions/bootNanos record what Open's boot recovery did, for the
 	// serving layer's startup log and healthz.
 	bootSessions int
@@ -141,6 +150,7 @@ func newEngine(cfg Config) *Engine {
 		max:            cfg.MaxSessions,
 		onEvict:        cfg.OnEvict,
 		recoverWorkers: cfg.RecoveryParallelism,
+		ciWorkers:      cfg.BootstrapParallelism,
 		inflight:       make(map[string]*idLock),
 	}
 	for i := range e.shards {
@@ -348,6 +358,7 @@ func (e *Engine) recoverSession(id string, cols *votelog.VoteColumns) (*Session,
 		}
 	}
 	s := NewSession(id, meta.Items, cfg)
+	s.ciWorkers = e.ciWorkers
 	if !meta.CreatedAt.IsZero() {
 		s.created = meta.CreatedAt
 	}
@@ -522,6 +533,7 @@ func (e *Engine) Create(id string, n int, cfg SessionConfig) (*Session, error) {
 	// Build the suite outside the shard lock: construction is O(N) and must
 	// not stall unrelated lookups on the same shard.
 	s := NewSession(id, n, cfg)
+	s.ciWorkers = e.ciWorkers
 	if e.store != nil {
 		raw, err := json.Marshal(cfg)
 		if err != nil {

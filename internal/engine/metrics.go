@@ -43,4 +43,21 @@ var (
 		"Point-in-time session snapshots taken.")
 	metricRestores = metrics.Default.Counter("dqm_engine_restores_total",
 		"Session restores applied from snapshots.")
+
+	// Estimate-read latency by compute path: "cached" reads served from a
+	// valid memo (lock-free or under mu), "incremental" reads that refreshed
+	// a stale memo in place (only changed members re-ran), "full" reads that
+	// evaluated every member from scratch (first read, post-reset/restore).
+	metricEstimateCached = metrics.Default.Histogram("dqm_engine_estimate_seconds",
+		"Estimate read latency by compute path.",
+		metrics.DurationBuckets, metrics.Label{Name: "path", Value: "cached"})
+	metricEstimateIncremental = metrics.Default.Histogram("dqm_engine_estimate_seconds",
+		"Estimate read latency by compute path.",
+		metrics.DurationBuckets, metrics.Label{Name: "path", Value: "incremental"})
+	metricEstimateFull = metrics.Default.Histogram("dqm_engine_estimate_seconds",
+		"Estimate read latency by compute path.",
+		metrics.DurationBuckets, metrics.Label{Name: "path", Value: "full"})
+	metricBootstrapSeconds = metrics.Default.Histogram("dqm_engine_bootstrap_seconds",
+		"Off-mutex bootstrap confidence-interval compute duration (capture and cache bookkeeping excluded).",
+		metrics.DurationBuckets)
 )

@@ -91,10 +91,26 @@ type Session struct {
 	journal *wal.Journal
 
 	ciSeed uint64
+	// ciWorkers is the bootstrap worker-pool width (0 = per-CPU default,
+	// capped). Set once at construction (Engine.Create plumbs
+	// Config.BootstrapParallelism), immutable afterwards.
+	ciWorkers int
 	// ciCache memoizes bootstrap confidence intervals by (kind, replicates,
 	// level); entries are valid while their version still matches. Guarded by
-	// mu (the bootstrap itself runs under mu anyway).
+	// mu. The bootstrap itself runs OFF the mutex: only the state capture and
+	// the cache bookkeeping hold it.
 	ciCache map[ciKey]ciEntry
+	// ciFlights deduplicates concurrent identical CI requests: followers wait
+	// on the leader's flight instead of recomputing. Keyed by (request shape,
+	// version) so a follower never receives an interval for a different state
+	// than it asked about. Guarded by mu.
+	ciFlights map[ciFlightKey]*ciFlight
+	// lastEstimateVersion is the session version of the most recent
+	// under-mutex estimate read. The lock-free cache is published lazily — on
+	// the SECOND read of the same version — so a write-mostly session never
+	// pays the publication allocation and the dirty-read path stays 0-alloc.
+	// Guarded by mu.
+	lastEstimateVersion uint64
 
 	lastUsed atomic.Int64 // unix nanos; read lock-free by the evictor
 
@@ -126,6 +142,21 @@ type ciKey struct {
 type ciEntry struct {
 	version uint64
 	ci      estimator.CI
+}
+
+// ciFlightKey identifies one in-flight bootstrap: the request shape plus the
+// session version its state was captured at.
+type ciFlightKey struct {
+	key     ciKey
+	version uint64
+}
+
+// ciFlight is one in-flight off-mutex bootstrap. The leader closes done
+// after storing ci/err; followers block on done and read the results.
+type ciFlight struct {
+	done chan struct{}
+	ci   estimator.CI
+	err  error
 }
 
 // NewSession creates a standalone session over a population of n items.
@@ -447,12 +478,33 @@ func (s *Session) Estimates() estimator.Estimates {
 }
 
 // estimatesLocked recomputes (or revalidates) the estimate snapshot and
-// publishes it to the lock-free cache. Call under mu.
+// lazily publishes it to the lock-free cache. Call under mu.
 func (s *Session) estimatesLocked() estimator.Estimates {
-	e := s.suite.EstimateAll() // memoized by the suite's own version
+	start := time.Now()
+	memoValid, memoUpToDate := s.suite.MemoState()
+	e := s.suite.EstimateAll() // incremental: only changed members re-run
+	switch {
+	case memoUpToDate:
+		metricEstimateCached.ObserveSince(start)
+	case memoValid:
+		metricEstimateIncremental.ObserveSince(start)
+	default:
+		metricEstimateFull.ObserveSince(start)
+	}
 	// Under mu no mutator can run, so the version read here is exactly the
-	// version of the state e was computed from.
-	s.cached.Store(&estimateCache{version: s.version.Load(), est: e.Clone()})
+	// version of the state e was computed from. Publication is lazy — only
+	// the second read of one version publishes — so a mutate/read/mutate
+	// workload (the dirty-read hot path) never allocates a cache entry it
+	// would immediately invalidate, while a poll-heavy workload still
+	// upgrades to lock-free reads after one extra recompute.
+	v := s.version.Load()
+	if c := s.cached.Load(); c == nil || c.version != v {
+		if s.lastEstimateVersion == v {
+			s.cached.Store(&estimateCache{version: v, est: e.Clone()})
+		} else {
+			s.lastEstimateVersion = v
+		}
+	}
 	return e
 }
 
@@ -617,50 +669,105 @@ func (s *Session) closeJournal() error {
 // is dropped (distinct request shapes per session are few in practice).
 const maxCICacheEntries = 32
 
-// cachedCI memoizes one bootstrap by (kind, replicates, level), keyed on the
-// session version: the bootstrap is deterministic given the seed and the
-// vote stream, so an unchanged session always reproduces the same interval —
-// recomputing it on every poll would hold the session mutex for
-// O(replicates·N) per read. Call under mu.
-func (s *Session) cachedCI(key ciKey, compute func() (estimator.CI, error)) (estimator.CI, error) {
+// ciComputeHook, when non-nil, runs at the start of every off-mutex
+// bootstrap compute. Test instrumentation only: tests stall it to hold a CI
+// in flight while proving ingest and estimate reads proceed without it.
+var ciComputeHook func()
+
+// runCI serves one bootstrap-CI request: memoized by (request shape) per
+// version, deduplicated across concurrent identical requests, and computed
+// OFF the session mutex. capture runs under mu and snapshots the minimal
+// bootstrap state (per-item counts or flattened switch ledgers), returning
+// the compute closure; the replicate loop then runs with the mutex released,
+// so ingest proceeds concurrently. The bootstrap is deterministic given the
+// seed and the vote stream, so an unchanged session always reproduces the
+// same interval — the cache just skips the recompute on every poll.
+func (s *Session) runCI(key ciKey, capture func() (func() (estimator.CI, error), error)) (estimator.CI, error) {
+	if err := estimator.ValidateBootstrapArgs(key.replicates, key.level); err != nil {
+		return estimator.CI{}, err
+	}
+	s.mu.Lock()
+	_ = s.mergeStagedLocked()
+	s.touch()
 	v := s.version.Load()
 	if e, ok := s.ciCache[key]; ok && e.version == v {
+		s.mu.Unlock()
 		return e.ci, nil
 	}
-	ci, err := compute()
+	fk := ciFlightKey{key: key, version: v}
+	if f, ok := s.ciFlights[fk]; ok {
+		// Follower: an identical request over identical state is already in
+		// flight; wait for its result instead of recomputing.
+		s.mu.Unlock()
+		<-f.done
+		return f.ci, f.err
+	}
+	compute, err := capture()
 	if err != nil {
-		return ci, err
+		s.mu.Unlock()
+		return estimator.CI{}, err
 	}
-	if s.ciCache == nil || len(s.ciCache) >= maxCICacheEntries {
-		s.ciCache = make(map[ciKey]ciEntry, 4)
+	f := &ciFlight{done: make(chan struct{})}
+	if s.ciFlights == nil {
+		s.ciFlights = make(map[ciFlightKey]*ciFlight, 2)
 	}
-	s.ciCache[key] = ciEntry{version: v, ci: ci}
-	return ci, nil
+	s.ciFlights[fk] = f
+	s.mu.Unlock()
+
+	if ciComputeHook != nil {
+		ciComputeHook()
+	}
+	start := time.Now()
+	f.ci, f.err = compute()
+	metricBootstrapSeconds.ObserveSince(start)
+
+	s.mu.Lock()
+	delete(s.ciFlights, fk)
+	if f.err == nil && s.version.Load() == v {
+		// Only cache when the session has not moved on: a newer state must
+		// never be answered with an interval captured before it.
+		if s.ciCache == nil || len(s.ciCache) >= maxCICacheEntries {
+			s.ciCache = make(map[ciKey]ciEntry, 4)
+		}
+		s.ciCache[key] = ciEntry{version: v, ci: f.ci}
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.ci, f.err
 }
 
 // SwitchCI computes a bootstrap confidence interval for the SWITCH total
 // estimate, cached by (replicates, level) until the session mutates. The
-// session must have been configured with SwitchConfig.RetainLedgers.
+// session must have been configured with SwitchConfig.RetainLedgers. The
+// replicate loop runs off the session mutex, fanned over the session's
+// bootstrap worker pool; ingest is blocked only for the O(switches) ledger
+// capture.
 func (s *Session) SwitchCI(replicates int, level float64) (estimator.CI, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.suite.Switch == nil {
-		return estimator.CI{}, fmt.Errorf("engine: session %q has no SWITCH estimator", s.id)
-	}
-	_ = s.mergeStagedLocked()
-	return s.cachedCI(ciKey{'s', replicates, level}, func() (estimator.CI, error) {
-		return s.suite.Switch.BootstrapSwitch(replicates, level, xrand.New(s.ciSeed))
+	return s.runCI(ciKey{'s', replicates, level}, func() (func() (estimator.CI, error), error) {
+		if s.suite.Switch == nil {
+			return nil, fmt.Errorf("engine: session %q has no SWITCH estimator", s.id)
+		}
+		st, err := s.suite.Switch.CaptureBootstrap()
+		if err != nil {
+			return nil, err
+		}
+		return func() (estimator.CI, error) {
+			defer st.Release()
+			return st.Bootstrap(replicates, level, xrand.New(s.ciSeed), s.ciWorkers)
+		}, nil
 	})
 }
 
 // Chao92CI computes a bootstrap confidence interval for the Chao92 total
-// estimate, cached by (replicates, level) until the session mutates.
+// estimate, cached by (replicates, level) until the session mutates. Like
+// SwitchCI, only the O(N) count capture holds the session mutex.
 func (s *Session) Chao92CI(replicates int, level float64) (estimator.CI, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_ = s.mergeStagedLocked()
-	return s.cachedCI(ciKey{'c', replicates, level}, func() (estimator.CI, error) {
-		return estimator.BootstrapChao92(s.suite.Matrix, replicates, level, xrand.New(s.ciSeed))
+	return s.runCI(ciKey{'c', replicates, level}, func() (func() (estimator.CI, error), error) {
+		st := estimator.CaptureChao92(s.suite.Matrix)
+		return func() (estimator.CI, error) {
+			defer st.Release()
+			return st.Bootstrap(replicates, level, xrand.New(s.ciSeed), s.ciWorkers)
+		}, nil
 	})
 }
 

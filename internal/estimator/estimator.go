@@ -68,13 +68,20 @@ func Chao92(m *votes.Matrix, opts ...Chao92Option) float64 {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	// The input fingerprint is read in place: the Chao92 family never
-	// mutates F, and the estimate is computed before the matrix can move.
-	in := stats.Chao92Input{C: m.Nominal(), F: m.DirtyFingerprintView(), N: m.PositiveVotes()}
-	if cfg.skew {
-		return stats.Chao92(in).Estimate
+	return chao92(m, cfg.skew)
+}
+
+// chao92 is the option-free core; the suite member calls it directly so the
+// read path stays allocation-free (the variadic form heap-allocates its cfg).
+func chao92(m *votes.Matrix, skew bool) float64 {
+	// The matrix maintains the sufficient statistic (f₁, pair sum)
+	// incrementally, so the estimate is O(1) — no fingerprint walk.
+	f1, pairSum := m.DirtyStats()
+	in := stats.Chao92Stats{C: m.Nominal(), F1: f1, PairSum: pairSum, N: m.PositiveVotes()}
+	if skew {
+		return stats.Chao92FromStats(in).Estimate
 	}
-	return stats.Chao92NoSkew(in).Estimate
+	return stats.Chao92NoSkewFromStats(in).Estimate
 }
 
 // VChao92Config parameterizes the shifted estimator of §3.3.
@@ -95,19 +102,20 @@ func VChao92(m *votes.Matrix, cfg VChao92Config) float64 {
 	if cfg.Shift < 0 {
 		panic(fmt.Sprintf("estimator: negative vChao92 shift %d", cfg.Shift))
 	}
-	f := m.DirtyFingerprintView()
-	shifted := f.Shift(cfg.Shift)
+	// The shifted-fingerprint statistics come from closed forms over the
+	// running aggregates (O(shift), no materialized shifted Freq).
+	sh := m.DirtyShifted(cfg.Shift)
 	n := m.PositiveVotes()
 	if cfg.MassAdjust {
-		n -= f.DroppedMass(cfg.Shift)
+		n -= sh.DroppedMass
 	} else {
-		n -= f.DroppedCount(cfg.Shift)
+		n -= sh.DroppedCount
 	}
 	if n < 0 {
 		n = 0
 	}
-	in := stats.Chao92Input{C: m.Majority(), F: shifted, N: n}
-	return stats.Chao92(in).Estimate
+	in := stats.Chao92Stats{C: m.Majority(), F1: sh.F1, PairSum: sh.PairSum, N: n}
+	return stats.Chao92FromStats(in).Estimate
 }
 
 // Trend is the direction of the majority-consensus series, the signal the
@@ -223,9 +231,6 @@ type SwitchEstimator struct {
 	// the ξ⁺ and ξ⁻ corrections (§4.3 commits to one side per dataset once
 	// the majority trend is established).
 	lastTrend Trend
-	// mergedScratch is the reusable buffer for the merged switch
-	// fingerprint, so Estimate stays allocation-free in steady state.
-	mergedScratch stats.Freq
 }
 
 // NewSwitch creates a SWITCH estimator over n items.
@@ -306,18 +311,18 @@ func (e *SwitchEstimator) trend() Trend {
 	return e.lastTrend
 }
 
-func (e *SwitchEstimator) signEstimate(c int64, f stats.Freq, observed int64) float64 {
+func (e *SwitchEstimator) signEstimate(c int64, f switchstat.FingerprintStats, observed int64) float64 {
 	if c == 0 {
 		return 0
 	}
 	var n int64
 	switch e.cfg.NMode {
 	case NModeSignMass:
-		n = f.Mass()
+		n = f.Mass
 	default:
 		n = e.tracker.NSwitch()
 	}
-	d := stats.Chao92(stats.Chao92Input{C: c, F: f, N: n}).Estimate
+	d := stats.Chao92FromStats(stats.Chao92Stats{C: c, F1: f.F1, PairSum: f.PairSum, N: n}).Estimate
 	if d < float64(observed) {
 		// A species estimate below the observed count is vacuous; the
 		// estimator never predicts fewer species than seen.
@@ -327,17 +332,18 @@ func (e *SwitchEstimator) signEstimate(c int64, f stats.Freq, observed int64) fl
 }
 
 // Estimate computes the SWITCH outputs at the current point of the stream.
+// The tracker maintains per-sign running aggregates, and the merged-sign
+// statistic is their componentwise sum, so the whole estimate is O(1).
 func (e *SwitchEstimator) Estimate() SwitchEstimate {
 	tr := e.tracker
 	maj := float64(tr.Majority())
 
-	dPos := e.signEstimate(tr.CSwitchPositive(), tr.FingerprintPositiveView(), tr.PositiveSwitches())
-	dNeg := e.signEstimate(tr.CSwitchNegative(), tr.FingerprintNegativeView(), tr.NegativeSwitches())
+	dPos := e.signEstimate(tr.CSwitchPositive(), tr.PositiveStats(), tr.PositiveSwitches())
+	dNeg := e.signEstimate(tr.CSwitchNegative(), tr.NegativeStats(), tr.NegativeSwitches())
 	xiPos := math.Max(0, dPos-float64(tr.PositiveSwitches()))
 	xiNeg := math.Max(0, dNeg-float64(tr.NegativeSwitches()))
 
-	e.mergedScratch = tr.FingerprintInto(e.mergedScratch)
-	dAll := e.signEstimate(tr.CSwitch(), e.mergedScratch, tr.Switches())
+	dAll := e.signEstimate(tr.CSwitch(), tr.MergedStats(), tr.Switches())
 	xiAll := math.Max(0, dAll-float64(tr.Switches()))
 
 	trend := e.trend()

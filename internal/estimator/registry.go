@@ -121,7 +121,7 @@ func init() {
 	})
 	Register(NameChao92, func(env Env) Estimator {
 		return newMatrixMember(env, NameChao92, true, func(m *votes.Matrix, _ SuiteConfig) float64 {
-			return Chao92(m)
+			return chao92(m, true)
 		})
 	})
 	Register(NameVChao92, func(env Env) Estimator {

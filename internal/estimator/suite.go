@@ -35,12 +35,21 @@ type Suite struct {
 	// publishes to lock-free readers; Clone carries it so a snapshot and its
 	// source agree on the position of the stream.
 	version uint64
-	// memo caches the last EstimateAll result; valid while memoVersion still
-	// equals version. memo.Extra is privately owned (cloned in, cloned out) so
-	// a caller mutating a returned Extra map cannot corrupt the cache.
-	memo        Estimates
-	memoVersion uint64
-	memoValid   bool
+	// voteVersion counts only the mutations that touch the shared matrix
+	// (Observe, Reset) — EndTask advances version but not voteVersion. It is
+	// the dirty bit of the matrix-derived members: when a stale memo differs
+	// from the live state only by EndTask calls, those members are provably
+	// unchanged and EstimateAll skips re-evaluating them.
+	voteVersion uint64
+	// memo caches the last EstimateAll result and is refreshed IN PLACE on
+	// stale reads (only the members whose inputs changed re-run, and the Extra
+	// map is reused — its key set is fixed at construction). memo.Extra is
+	// privately owned (cloned out) so a caller mutating a returned Extra map
+	// cannot corrupt the cache.
+	memo            Estimates
+	memoVersion     uint64
+	memoVoteVersion uint64
+	memoValid       bool
 }
 
 // SuiteConfig configures a Suite.
@@ -138,10 +147,20 @@ func (s *Suite) NumItems() int { return s.n }
 // Two reads of an equal version are guaranteed to see identical estimates.
 func (s *Suite) Version() uint64 { return s.version }
 
+// MemoState reports the memo's relationship to the live stream. EstimateAll
+// will serve a clone of the memo (upToDate), refresh it in place re-running
+// only changed members (valid but not upToDate), or evaluate every member
+// (not valid). The session layer reads this to classify estimate latency by
+// compute path.
+func (s *Suite) MemoState() (valid, upToDate bool) {
+	return s.memoValid, s.memoValid && s.memoVersion == s.version
+}
+
 // Observe ingests one vote into the shared matrix and every streaming
 // member.
 func (s *Suite) Observe(v votes.Vote) {
 	s.version++
+	s.voteVersion++
 	s.Matrix.Add(v)
 	for _, m := range s.streaming {
 		m.Observe(v)
@@ -205,17 +224,56 @@ func (e Estimates) Clone() Estimates {
 
 // EstimateAll evaluates every member at the current stream position, memoized
 // on the mutation version: repeated reads of an unchanged stream return the
-// cached snapshot instead of re-running every estimator. Members not selected
-// leave their zero value in the snapshot.
+// cached snapshot instead of re-running every estimator, and a stale memo is
+// refreshed in place — only the members whose inputs changed since the memo
+// was built re-run, and no intermediate snapshot is allocated. The result is
+// bit-identical to EstimateAllUncached at every stream position (estimators
+// are deterministic pure functions of their stream state; the property test
+// in suite_incremental_test.go pins this). Members not selected leave their
+// zero value in the snapshot.
 func (s *Suite) EstimateAll() Estimates {
-	if s.memoValid && s.memoVersion == s.version {
-		return s.memo.Clone()
+	if !s.memoValid || s.memoVersion != s.version {
+		// Matrix-derived members are skippable when only EndTask calls
+		// separate the memo from the live state.
+		s.refreshMemo(s.memoValid && s.memoVoteVersion == s.voteVersion)
+		s.memoVersion = s.version
+		s.memoVoteVersion = s.voteVersion
+		s.memoValid = true
 	}
-	e := s.EstimateAllUncached()
-	s.memo = e.Clone()
-	s.memoVersion = s.version
-	s.memoValid = true
-	return e
+	return s.memo.Clone()
+}
+
+// refreshMemo re-evaluates members into the memo in place. When votesClean,
+// members that only read the suite-shared matrix are skipped: their input did
+// not change, so their memoized estimate is still exact.
+func (s *Suite) refreshMemo(votesClean bool) {
+	for i, m := range s.members {
+		if votesClean {
+			if mm, ok := m.(sharedMatrixMember); ok && mm.sharesMatrix() {
+				continue
+			}
+		}
+		if extra := s.extras[i]; extra != "" {
+			if s.memo.Extra == nil {
+				s.memo.Extra = make(map[string]float64, len(s.members))
+			}
+			s.memo.Extra[extra] = m.Estimate()
+			continue
+		}
+		switch m.Name() {
+		case NameNominal:
+			s.memo.Nominal = m.Estimate()
+		case NameVoting:
+			s.memo.Voting = m.Estimate()
+		case NameChao92:
+			s.memo.Chao92 = m.Estimate()
+		case NameVChao92:
+			s.memo.VChao92 = m.Estimate()
+		case NameSwitch:
+			// One evaluation serves both the scalar and the full struct.
+			s.memo.Switch = s.Switch.Estimate()
+		}
+	}
 }
 
 // EstimateAllUncached evaluates every member unconditionally, bypassing the
@@ -254,10 +312,11 @@ func (s *Suite) EstimateAllUncached() Estimates {
 // ingest independently afterwards.
 func (s *Suite) Clone() *Suite {
 	out := &Suite{
-		Matrix:  s.Matrix.Clone(),
-		cfg:     s.cfg,
-		n:       s.n,
-		version: s.version,
+		Matrix:      s.Matrix.Clone(),
+		cfg:         s.cfg,
+		n:           s.n,
+		version:     s.version,
+		voteVersion: s.voteVersion,
 	}
 	for _, m := range s.members {
 		out.addMember(m.Name(), m.Clone(out.Matrix))
@@ -270,6 +329,7 @@ func (s *Suite) Clone() *Suite {
 // reset can never be served afterwards.
 func (s *Suite) Reset() {
 	s.version++
+	s.voteVersion++
 	s.memoValid = false
 	s.Matrix.Reset()
 	for _, m := range s.streaming {

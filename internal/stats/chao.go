@@ -31,14 +31,22 @@ func Coverage(singletons, n int64) float64 {
 // It measures the skew of the species abundance distribution; γ̂² = 0
 // corresponds to the homogeneous (no-skew) model.
 func CV2(c int64, f Freq, n int64) float64 {
+	return CV2FromStats(c, f.Singletons(), f.PairSum(), n)
+}
+
+// CV2FromStats is CV2 taking the two fingerprint aggregates (f₁ and the pair
+// sum Σ j(j−1)f_j) directly, for callers that maintain them incrementally
+// (RunningFreq). CV2 delegates here, so the two paths share one float
+// expression and agree bit for bit.
+func CV2FromStats(c, f1, pairSum, n int64) float64 {
 	if n <= 1 {
 		return 0
 	}
-	cov := Coverage(f.Singletons(), n)
+	cov := Coverage(f1, n)
 	if cov == 0 {
 		return 0
 	}
-	g := float64(c) / cov * float64(f.PairSum()) / (float64(n) * float64(n-1))
+	g := float64(c) / cov * float64(pairSum) / (float64(n) * float64(n-1))
 	g -= 1
 	if g < 0 || math.IsNaN(g) {
 		return 0
@@ -84,11 +92,30 @@ const chao92MaxBlowup = 1 << 20
 // where Ĉ = 1 − f₁/n and γ̂² is CV2. With γ̂² = 0 this degrades to the
 // homogeneous estimator D̂_noskew = c/Ĉ (Equations 1–3).
 func Chao92(in Chao92Input) Chao92Result {
+	return Chao92FromStats(Chao92Stats{
+		C: in.C, F1: in.F.Singletons(), PairSum: in.F.PairSum(), N: in.N,
+	})
+}
+
+// Chao92Stats is the sufficient statistic of the Chao92 family: the estimator
+// reads nothing from the fingerprint beyond f₁ and Σ j(j−1)f_j. Callers that
+// maintain these incrementally (RunningFreq) skip the fingerprint walks
+// entirely.
+type Chao92Stats struct {
+	C       int64 // distinct species observed
+	F1      int64 // singleton count f₁
+	PairSum int64 // Σ j(j−1)·f_j
+	N       int64 // observation count
+}
+
+// Chao92FromStats computes the full estimator from the sufficient statistic.
+// Chao92 delegates here, so the Freq-walking and incremental paths share one
+// float expression and agree bit for bit.
+func Chao92FromStats(in Chao92Stats) Chao92Result {
 	if in.C <= 0 || in.N <= 0 {
 		return Chao92Result{}
 	}
-	f1 := in.F.Singletons()
-	cov := Coverage(f1, in.N)
+	cov := Coverage(in.F1, in.N)
 	if cov == 0 {
 		// Zero coverage: every observation is a singleton; the estimate
 		// diverges. Report a large, finite, flagged value.
@@ -98,8 +125,8 @@ func Chao92(in Chao92Input) Chao92Result {
 			Saturated: true,
 		}
 	}
-	cv2 := CV2(in.C, in.F, in.N)
-	est := float64(in.C)/cov + float64(f1)*cv2/cov
+	cv2 := CV2FromStats(in.C, in.F1, in.PairSum, in.N)
+	est := float64(in.C)/cov + float64(in.F1)*cv2/cov
 	return Chao92Result{Estimate: est, Coverage: cov, CV2: cv2}
 }
 
@@ -107,6 +134,16 @@ func Chao92(in Chao92Input) Chao92Result {
 // estimator, also used by the paper as D̂_GT in Section 5.2.
 func Chao92NoSkew(in Chao92Input) Chao92Result {
 	r := Chao92(in)
+	if r.Saturated {
+		return r
+	}
+	r.Estimate = float64(in.C) / r.Coverage
+	return r
+}
+
+// Chao92NoSkewFromStats is Chao92NoSkew over the sufficient statistic.
+func Chao92NoSkewFromStats(in Chao92Stats) Chao92Result {
+	r := Chao92FromStats(in)
 	if r.Saturated {
 		return r
 	}

@@ -76,7 +76,10 @@ type Tracker struct {
 	retainLedgers bool
 	ledgers       [][]SwitchEvent
 
-	fPos, fNeg stats.Freq
+	// Per-sign fingerprints with running aggregates: the switch estimator
+	// reads f₁/pair-sum/mass per sign (and merged, by additivity) in O(1)
+	// instead of walking the frequency classes on every estimate.
+	fPos, fNeg stats.RunningFreq
 
 	totalVotes int64
 	noops      int64
@@ -104,8 +107,8 @@ func NewTracker(n int, opts ...Option) *Tracker {
 	}
 	t := &Tracker{
 		items: make([]itemState, n),
-		fPos:  stats.Freq{0},
-		fNeg:  stats.Freq{0},
+		fPos:  stats.NewRunningFreq(stats.Freq{0}),
+		fNeg:  stats.NewRunningFreq(stats.Freq{0}),
 	}
 	for _, o := range opts {
 		o(t)
@@ -259,9 +262,10 @@ func (t *Tracker) Fingerprint() stats.Freq { return t.FingerprintInto(nil) }
 // and returns it, letting streaming estimators reuse one scratch buffer per
 // estimate instead of allocating a merge each time.
 func (t *Tracker) FingerprintInto(dst stats.Freq) stats.Freq {
-	n := len(t.fPos)
-	if len(t.fNeg) > n {
-		n = len(t.fNeg)
+	fPos, fNeg := t.fPos.View(), t.fNeg.View()
+	n := len(fPos)
+	if len(fNeg) > n {
+		n = len(fNeg)
 	}
 	if cap(dst) < n {
 		dst = make(stats.Freq, n)
@@ -269,13 +273,49 @@ func (t *Tracker) FingerprintInto(dst stats.Freq) stats.Freq {
 		dst = dst[:n]
 		clear(dst)
 	}
-	for j := 1; j < len(t.fPos); j++ {
-		dst[j] += t.fPos[j]
+	for j := 1; j < len(fPos); j++ {
+		dst[j] += fPos[j]
 	}
-	for j := 1; j < len(t.fNeg); j++ {
-		dst[j] += t.fNeg[j]
+	for j := 1; j < len(fNeg); j++ {
+		dst[j] += fNeg[j]
 	}
 	return dst
+}
+
+// FingerprintStats is the Chao92 sufficient statistic of one switch
+// fingerprint, read in O(1) from the running aggregates.
+type FingerprintStats struct {
+	F1      int64 // singleton switch species
+	Species int64 // distinct switch species
+	Mass    int64 // total switch-ledger observation mass
+	PairSum int64 // Σ j(j−1)·f_j
+}
+
+// PositiveStats returns the aggregates of the positive-switch fingerprint.
+func (t *Tracker) PositiveStats() FingerprintStats {
+	return FingerprintStats{
+		F1: t.fPos.Singletons(), Species: t.fPos.Species(),
+		Mass: t.fPos.Mass(), PairSum: t.fPos.PairSum(),
+	}
+}
+
+// NegativeStats returns the aggregates of the negative-switch fingerprint.
+func (t *Tracker) NegativeStats() FingerprintStats {
+	return FingerprintStats{
+		F1: t.fNeg.Singletons(), Species: t.fNeg.Species(),
+		Mass: t.fNeg.Mass(), PairSum: t.fNeg.PairSum(),
+	}
+}
+
+// MergedStats returns the aggregates of the merged (positive + negative)
+// fingerprint. Every aggregate is linear in the frequency classes, so the
+// merged statistic is the componentwise sum — no merge buffer needed.
+func (t *Tracker) MergedStats() FingerprintStats {
+	p, n := t.PositiveStats(), t.NegativeStats()
+	return FingerprintStats{
+		F1: p.F1 + n.F1, Species: p.Species + n.Species,
+		Mass: p.Mass + n.Mass, PairSum: p.PairSum + n.PairSum,
+	}
 }
 
 // FingerprintPositive returns the f′-statistics over positive switches only.
@@ -287,12 +327,12 @@ func (t *Tracker) FingerprintNegative() stats.Freq { return t.fNeg.Clone() }
 // FingerprintPositiveView returns the positive fingerprint without copying;
 // the slice aliases internal storage and is invalidated by the next Add or
 // Reset.
-func (t *Tracker) FingerprintPositiveView() stats.Freq { return t.fPos }
+func (t *Tracker) FingerprintPositiveView() stats.Freq { return t.fPos.View() }
 
 // FingerprintNegativeView returns the negative fingerprint without copying;
 // the slice aliases internal storage and is invalidated by the next Add or
 // Reset.
-func (t *Tracker) FingerprintNegativeView() stats.Freq { return t.fNeg }
+func (t *Tracker) FingerprintNegativeView() stats.Freq { return t.fNeg.View() }
 
 // Consensus reports the tracker's consensus state for item i (true = dirty).
 // Under PolicyStrictMajority this coincides with the strict majority with
@@ -312,8 +352,8 @@ func (t *Tracker) Clone() *Tracker {
 		policy:        t.policy,
 		items:         append([]itemState(nil), t.items...),
 		retainLedgers: t.retainLedgers,
-		fPos:          t.fPos.Clone(),
-		fNeg:          t.fNeg.Clone(),
+		fPos:          t.fPos.CloneRunning(),
+		fNeg:          t.fNeg.CloneRunning(),
 		totalVotes:    t.totalVotes,
 		noops:         t.noops,
 		posSw:         t.posSw,

@@ -126,9 +126,10 @@ type Matrix struct {
 	posVotes  int64
 	cNominal  int64
 	cMajority int64
-	// fpos tracks f_j over positive-vote counts incrementally, so that
-	// DirtyFingerprint is O(1) amortized rather than O(N) per estimate.
-	fpos stats.Freq
+	// fpos tracks f_j over positive-vote counts incrementally, together with
+	// its running aggregates (f₁, pair sum), so the Chao92 estimators read
+	// their sufficient statistic in O(1) instead of walking the fingerprint.
+	fpos stats.RunningFreq
 }
 
 // Option configures a Matrix.
@@ -150,7 +151,7 @@ func NewMatrix(n int, opts ...Option) *Matrix {
 		items:         make([]itemState, n),
 		history:       make([][]Vote, n),
 		retainHistory: true,
-		fpos:          stats.Freq{0},
+		fpos:          stats.NewRunningFreq(stats.Freq{0}),
 	}
 	for _, o := range opts {
 		o(m)
@@ -246,7 +247,17 @@ func (m *Matrix) DirtyFingerprint() stats.Freq { return m.fpos.Clone() }
 // returned slice aliases internal storage: it must not be modified and is
 // invalidated by the next Add or Reset. The estimator hot paths read it in
 // place to keep per-checkpoint evaluation allocation-free.
-func (m *Matrix) DirtyFingerprintView() stats.Freq { return m.fpos }
+func (m *Matrix) DirtyFingerprintView() stats.Freq { return m.fpos.View() }
+
+// DirtyStats returns the Chao92 sufficient statistic of the positive-vote
+// fingerprint — f₁ and Σ j(j−1)f_j — in O(1) from the running aggregates.
+func (m *Matrix) DirtyStats() (f1, pairSum int64) {
+	return m.fpos.Singletons(), m.fpos.PairSum()
+}
+
+// DirtyShifted returns the aggregate statistics of the positive-vote
+// fingerprint shifted by s classes (the vChao92 device) in O(s).
+func (m *Matrix) DirtyShifted(s int) stats.ShiftedStats { return m.fpos.Shifted(s) }
 
 // History returns the vote sequence of item i in arrival order. The returned
 // slice aliases internal storage and must not be modified. It returns nil
@@ -294,7 +305,7 @@ func (m *Matrix) Clone() *Matrix {
 		posVotes:      m.posVotes,
 		cNominal:      m.cNominal,
 		cMajority:     m.cMajority,
-		fpos:          m.fpos.Clone(),
+		fpos:          m.fpos.CloneRunning(),
 	}
 	if m.retainHistory {
 		out.history = make([][]Vote, len(m.history))

@@ -17,6 +17,7 @@ import (
 // sampling patterns used by the crowd simulator and experiment harness.
 type RNG struct {
 	src *rand.Rand
+	pcg *rand.PCG
 	// seed material retained so children can be derived deterministically.
 	hi, lo uint64
 	splits uint64
@@ -28,8 +29,10 @@ func New(seed uint64) *RNG {
 }
 
 func newFrom(hi, lo uint64) *RNG {
+	pcg := rand.NewPCG(hi, lo)
 	return &RNG{
-		src: rand.New(rand.NewPCG(hi, lo)),
+		src: rand.New(pcg),
+		pcg: pcg,
 		hi:  hi,
 		lo:  lo,
 	}
@@ -40,12 +43,37 @@ func newFrom(hi, lo uint64) *RNG {
 // parent do not affect children and vice versa.
 func (r *RNG) Split() *RNG {
 	r.splits++
-	// SplitMix64-style mixing of the parent's seed with the split counter.
-	z := r.lo + 0x9e3779b97f4a7c15*r.splits
+	return newFrom(r.childSeed(r.splits))
+}
+
+// childSeed derives the seed pair of the k-th sequential child (k ≥ 1) by
+// SplitMix64-style mixing of the parent's seed with the split counter. Shared
+// by Split, SplitAt and ReseedAt so indexed and sequential derivation agree.
+func (r *RNG) childSeed(k uint64) (hi, lo uint64) {
+	z := r.lo + 0x9e3779b97f4a7c15*k
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
-	return newFrom(r.hi^z, z)
+	return r.hi ^ z, z
+}
+
+// SplitAt derives the child stream with index i (0-based) without advancing
+// the parent's split counter: SplitAt(i) on a fresh parent equals its
+// (i+1)-th sequential Split. Because it only reads immutable seed material,
+// concurrent SplitAt calls on one parent are safe — the addressing mode a
+// worker pool needs to make "replicate i" a pure function of (seed, i),
+// independent of how replicates land on workers.
+func (r *RNG) SplitAt(i uint64) *RNG {
+	return newFrom(r.childSeed(i + 1))
+}
+
+// ReseedAt repositions the receiver onto parent's child stream i, reusing the
+// receiver's allocations. It is SplitAt for hot loops: a worker derives one
+// scratch RNG and reseeds it per replicate instead of allocating b children.
+func (r *RNG) ReseedAt(parent *RNG, i uint64) {
+	hi, lo := parent.childSeed(i + 1)
+	r.hi, r.lo, r.splits = hi, lo, 0
+	r.pcg.Seed(hi, lo)
 }
 
 // SplitNamed derives a child keyed by a label, so consumers can be added or

@@ -2,6 +2,7 @@ package xrand
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -274,4 +275,79 @@ func TestShuffle(t *testing.T) {
 	if len(seen) != len(orig) {
 		t.Fatal("shuffle lost elements")
 	}
+}
+
+// TestSplitAtMatchesSequentialSplit pins the indexed-addressing contract:
+// SplitAt(i) on a fresh parent is the (i+1)-th sequential Split, and SplitAt
+// never advances the parent's split counter.
+func TestSplitAtMatchesSequentialSplit(t *testing.T) {
+	const children = 8
+	seq := make([]uint64, children)
+	{
+		parent := New(99)
+		for i := range seq {
+			seq[i] = parent.Split().Uint64()
+		}
+	}
+	parent := New(99)
+	// Query out of order, interleaved, repeatedly: index addressing must not
+	// depend on call order or perturb the parent.
+	for _, i := range []uint64{3, 0, 7, 3, 1, 6, 2, 5, 4, 0} {
+		if got := parent.SplitAt(i).Uint64(); got != seq[i] {
+			t.Fatalf("SplitAt(%d) first draw = %d, want sequential child's %d", i, got, seq[i])
+		}
+	}
+	if got, want := parent.Split().Uint64(), seq[0]; got != want {
+		t.Fatalf("SplitAt advanced the parent: next Split draw = %d, want %d", got, want)
+	}
+}
+
+// TestReseedAtMatchesSplitAt: reseeding a scratch RNG in place must reproduce
+// the allocated child stream exactly — the 0-alloc hot-loop form the bootstrap
+// worker pool relies on.
+func TestReseedAtMatchesSplitAt(t *testing.T) {
+	parent := New(7)
+	scratch := New(0)
+	for i := uint64(0); i < 20; i++ {
+		want := parent.SplitAt(i)
+		scratch.ReseedAt(parent, i)
+		for d := 0; d < 16; d++ {
+			if g, w := scratch.Uint64(), want.Uint64(); g != w {
+				t.Fatalf("child %d draw %d: ReseedAt %d != SplitAt %d", i, d, g, w)
+			}
+		}
+	}
+	// A reseeded scratch can itself split (replicates that need sub-streams).
+	scratch.ReseedAt(parent, 3)
+	if g, w := scratch.Split().Uint64(), parent.SplitAt(3).Split().Uint64(); g != w {
+		t.Fatalf("post-reseed Split diverged: %d != %d", g, w)
+	}
+}
+
+// TestSplitAtConcurrent: SplitAt reads only immutable seed material, so many
+// goroutines may address one parent concurrently (run under -race in CI).
+func TestSplitAtConcurrent(t *testing.T) {
+	parent := New(123)
+	want := make([]uint64, 64)
+	for i := range want {
+		want[i] = parent.SplitAt(uint64(i)).Uint64()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			scratch := New(0)
+			for i := g; i < len(want); i += 8 {
+				if got := parent.SplitAt(uint64(i)).Uint64(); got != want[i] {
+					t.Errorf("concurrent SplitAt(%d) = %d, want %d", i, got, want[i])
+				}
+				scratch.ReseedAt(parent, uint64(i))
+				if got := scratch.Uint64(); got != want[i] {
+					t.Errorf("concurrent ReseedAt(%d) = %d, want %d", i, got, want[i])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
