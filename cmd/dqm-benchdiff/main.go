@@ -27,7 +27,8 @@
 //     pinned hot path silently dropping out of the suite is itself a
 //     regression.
 //   - loadgen: the report must parse, contain ops, have zero errors, and
-//     clear -min-votes-per-sec.
+//     clear -min-votes-per-sec and (for watch scenarios)
+//     -min-watch-events-per-sec.
 //
 // GOMAXPROCS name suffixes ("-8") are stripped, so baselines compare across
 // machines with different core counts (ns thresholds still assume comparable
@@ -81,12 +82,13 @@ func main() {
 		note      = fs.String("note", "", "note recorded in -out")
 		loadgen   = fs.String("loadgen", "", "dqm-loadgen report JSON to gate")
 		minVotes  = fs.Float64("min-votes-per-sec", 0, "minimum loadgen ingest throughput")
+		minWatch  = fs.Float64("min-watch-events-per-sec", 0, "minimum loadgen delivered watch events/s (watch scenarios)")
 	)
 	fs.Parse(os.Args[1:])
 
 	failed := false
 	if *loadgen != "" {
-		if err := gateLoadgen(*loadgen, *minVotes); err != nil {
+		if err := gateLoadgen(*loadgen, *minVotes, *minWatch); err != nil {
 			log.Printf("FAIL %v", err)
 			failed = true
 		} else {
@@ -253,10 +255,14 @@ type loadgenReport struct {
 	TotalErrors   int64   `json:"total_errors"`
 	VotesPerSec   float64 `json:"votes_per_sec"`
 	OpsPerSec     float64 `json:"ops_per_sec"`
+	// WatchEventsPerSec is delivered SSE/hub events per second across all
+	// subscribers — present only for watch scenarios, gated by
+	// -min-watch-events-per-sec.
+	WatchEventsPerSec float64 `json:"watch_events_per_sec"`
 }
 
 // gateLoadgen validates a loadgen report.
-func gateLoadgen(path string, minVotes float64) error {
+func gateLoadgen(path string, minVotes, minWatch float64) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -276,6 +282,9 @@ func gateLoadgen(path string, minVotes float64) error {
 	}
 	if rep.VotesPerSec < minVotes {
 		return fmt.Errorf("%s: %.0f votes/s below the %.0f floor", path, rep.VotesPerSec, minVotes)
+	}
+	if rep.WatchEventsPerSec < minWatch {
+		return fmt.Errorf("%s: %.0f watch events/s below the %.0f floor", path, rep.WatchEventsPerSec, minWatch)
 	}
 	return nil
 }

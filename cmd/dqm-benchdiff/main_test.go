@@ -130,26 +130,43 @@ func TestGateLoadgen(t *testing.T) {
 		"tool": "dqm-loadgen", "schema_version": 1,
 		"total_ops": 1000, "total_errors": 0, "votes_per_sec": 500000.0,
 	})
-	if err := gateLoadgen(good, 50000); err != nil {
+	if err := gateLoadgen(good, 50000, 0); err != nil {
 		t.Errorf("good report rejected: %v", err)
 	}
 	slow := write("slow.json", map[string]any{
 		"tool": "dqm-loadgen", "schema_version": 1,
 		"total_ops": 1000, "total_errors": 0, "votes_per_sec": 100.0,
 	})
-	if err := gateLoadgen(slow, 50000); err == nil {
+	if err := gateLoadgen(slow, 50000, 0); err == nil {
 		t.Error("below-floor throughput accepted")
 	}
 	errs := write("errs.json", map[string]any{
 		"tool": "dqm-loadgen", "schema_version": 1,
 		"total_ops": 1000, "total_errors": 3, "votes_per_sec": 500000.0,
 	})
-	if err := gateLoadgen(errs, 0); err == nil {
+	if err := gateLoadgen(errs, 0, 0); err == nil {
 		t.Error("errored run accepted")
 	}
 	alien := write("alien.json", map[string]any{"tool": "something-else"})
-	if err := gateLoadgen(alien, 0); err == nil {
+	if err := gateLoadgen(alien, 0, 0); err == nil {
 		t.Error("non-loadgen JSON accepted")
+	}
+
+	// The watch-events floor gates the storm scenario's delivery rate: a
+	// report without (or below) the watch column fails a non-zero floor.
+	storm := write("storm.json", map[string]any{
+		"tool": "dqm-loadgen", "schema_version": 1,
+		"total_ops": 1000, "total_errors": 0, "votes_per_sec": 500000.0,
+		"watch_events_per_sec": 12000.0,
+	})
+	if err := gateLoadgen(storm, 0, 500); err != nil {
+		t.Errorf("storm report rejected: %v", err)
+	}
+	if err := gateLoadgen(storm, 0, 50000); err == nil {
+		t.Error("below-floor watch delivery accepted")
+	}
+	if err := gateLoadgen(good, 0, 500); err == nil {
+		t.Error("watch floor passed with no watch column")
 	}
 }
 

@@ -21,7 +21,10 @@
 // Scenarios (-scenario): ingest (100% JSON vote ingest), binary-ingest (100%
 // ingest in the binary DQMV encoding — the columnar fast path), binary-mixed
 // (70/30 binary-ingest/poll), poll (10/90 ingest/estimate-poll), mixed
-// (70/30), watch (90/10 plus -watchers SSE subscribers), drift (windowed
+// (70/30), watch (90/10 plus -watchers SSE subscribers), watch-storm (100%
+// ingest on few hot sessions under a large subscriber population — default
+// 2000 when -watchers is unset — reporting delivered events/s, the
+// coalesced-skip ratio and delivery staleness percentiles), drift (windowed
 // sessions; the generated error rate jumps 0.05→0.30 after 200 tasks per
 // worker, the regime windowed estimation exists for), poll-dirty (45/45/10
 // ingest/poll/CI-poll on confidence-tracked sessions — the report separates
@@ -47,12 +50,14 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dqm"
+	"dqm/internal/hub"
 	"dqm/internal/votelog"
 )
 
@@ -76,7 +81,7 @@ func main() {
 	fs := flag.NewFlagSet("dqm-loadgen", flag.ExitOnError)
 	var cfg config
 	fs.StringVar(&cfg.Target, "target", "", "dqm-serve base URL (empty = drive the engine in-process)")
-	fs.StringVar(&cfg.Scenario, "scenario", "mixed", "workload scenario: ingest, binary-ingest, binary-mixed, poll, mixed, watch, drift, poll-dirty or restart")
+	fs.StringVar(&cfg.Scenario, "scenario", "mixed", "workload scenario: ingest, binary-ingest, binary-mixed, poll, mixed, watch, watch-storm, drift, poll-dirty or restart")
 	fs.IntVar(&cfg.Sessions, "sessions", 4, "concurrent sessions")
 	fs.IntVar(&cfg.Workers, "workers", 8, "concurrent load workers")
 	fs.DurationVar(&cfg.Duration, "duration", 5*time.Second, "measurement duration")
@@ -130,6 +135,16 @@ type report struct {
 	AllocKiBPerOp float64 `json:"alloc_kib_per_op"`
 	WatchEvents   int64   `json:"watch_events,omitempty"`
 	WatchSubs     int     `json:"watch_subscribers,omitempty"`
+	// Watch delivery detail (watch/watch-storm scenarios): aggregate
+	// delivered events/s across subscribers, versions coalesced away (a
+	// subscriber skipping to the latest), the skipped/(skipped+delivered)
+	// ratio, and delivery staleness — the age of the newest ingest ack when
+	// the event announcing it arrived (identical definition in-process and
+	// over HTTP).
+	WatchEventsPerSec float64    `json:"watch_events_per_sec,omitempty"`
+	WatchSkipped      int64      `json:"watch_skipped,omitempty"`
+	WatchSkipRatio    float64    `json:"watch_skip_ratio,omitempty"`
+	WatchLatency      *latencyMS `json:"watch_latency_ms,omitempty"`
 
 	Ops map[string]opReport `json:"ops"`
 }
@@ -168,8 +183,39 @@ func (r *report) summary() string {
 	}
 	if r.WatchSubs > 0 {
 		fmt.Fprintf(&b, "\n  %-12s %8d events from %d subscribers", "watch", r.WatchEvents, r.WatchSubs)
+		if r.WatchEventsPerSec > 0 {
+			fmt.Fprintf(&b, " (%.0f events/s, skip_ratio=%.2f", r.WatchEventsPerSec, r.WatchSkipRatio)
+			if r.WatchLatency != nil {
+				fmt.Fprintf(&b, ", staleness p50=%.1fms p99=%.1fms", r.WatchLatency.P50, r.WatchLatency.P99)
+			}
+			b.WriteString(")")
+		}
 	}
 	return b.String()
+}
+
+// watchTally aggregates subscriber-side delivery observations across all
+// watch goroutines.
+type watchTally struct {
+	events  atomic.Int64
+	skipped atomic.Int64
+	mu      sync.Mutex
+	lat     []int64 // ns, staleness at delivery
+}
+
+// observe records one delivered event: how many versions were coalesced away
+// since the subscriber's previous delivery, and the delivery staleness
+// (negative = unknown, not recorded).
+func (t *watchTally) observe(skipped int64, stalenessNS int64) {
+	t.events.Add(1)
+	if skipped > 0 {
+		t.skipped.Add(skipped)
+	}
+	if stalenessNS >= 0 {
+		t.mu.Lock()
+		t.lat = append(t.lat, stalenessNS)
+		t.mu.Unlock()
+	}
 }
 
 // driver abstracts the target: in-process engine or HTTP dqm-serve.
@@ -177,9 +223,10 @@ type driver interface {
 	// do executes one generated op. ctx bounds the op (an HTTP driver must
 	// not block past the run deadline on a stalled target).
 	do(ctx context.Context, o op) error
-	// watch runs one subscriber against a session until ctx is done, adding
-	// every observed update to events.
-	watch(ctx context.Context, session int, events *atomic.Int64) error
+	// watch runs one subscriber against a session until ctx is done,
+	// recording every delivered update (and its coalescing skips and
+	// staleness) in tally.
+	watch(ctx context.Context, session int, tally *watchTally) error
 	close() error
 }
 
@@ -220,19 +267,23 @@ func run(cfg config) (*report, error) {
 	defer cancel()
 
 	// Watch subscribers (outside the measured op stream).
-	var watchEvents atomic.Int64
+	tally := &watchTally{}
 	watchers := 0
 	var watchWG sync.WaitGroup
 	if sc.Watch {
 		watchers = cfg.Watchers
 		if watchers <= 0 {
-			watchers = cfg.Sessions
+			if sc.Storm {
+				watchers = 2000
+			} else {
+				watchers = cfg.Sessions
+			}
 		}
 		for i := 0; i < watchers; i++ {
 			watchWG.Add(1)
 			go func(i int) {
 				defer watchWG.Done()
-				_ = d.watch(ctx, i%cfg.Sessions, &watchEvents)
+				_ = d.watch(ctx, i%cfg.Sessions, tally)
 			}(i)
 		}
 	}
@@ -307,8 +358,22 @@ func run(cfg config) (*report, error) {
 		GoVersion:       runtime.Version(),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		Ops:             make(map[string]opReport),
-		WatchEvents:     watchEvents.Load(),
+		WatchEvents:     tally.events.Load(),
 		WatchSubs:       watchers,
+	}
+	if rep.WatchEvents > 0 {
+		rep.WatchEventsPerSec = float64(rep.WatchEvents) / elapsed.Seconds()
+		rep.WatchSkipped = tally.skipped.Load()
+		rep.WatchSkipRatio = float64(rep.WatchSkipped) / float64(rep.WatchSkipped+rep.WatchEvents)
+		if len(tally.lat) > 0 {
+			sort.Slice(tally.lat, func(i, j int) bool { return tally.lat[i] < tally.lat[j] })
+			rep.WatchLatency = &latencyMS{
+				P50: pctMS(tally.lat, 0.50),
+				P90: pctMS(tally.lat, 0.90),
+				P99: pctMS(tally.lat, 0.99),
+				Max: float64(tally.lat[len(tally.lat)-1]) / 1e6,
+			}
+		}
 	}
 	if cfg.Target != "" {
 		rep.Target = cfg.Target
@@ -399,7 +464,23 @@ const (
 type inprocDriver struct {
 	eng  *dqm.Engine
 	sess []*dqm.Session
+	// marks[k] is the UnixNano of session k's latest acknowledged ingest —
+	// the reference point for delivery-staleness measurement (the HTTP
+	// driver keeps the identical clock, so the two targets report the same
+	// quantity).
+	marks []atomic.Int64
+	// hub is the fan-out plane subscribers ride (built only for watch
+	// scenarios), mirroring dqm-serve's wiring over the same engine.
+	hub *hub.Hub
 }
+
+// inprocHubSession adapts *dqm.Session to hub.Session for the in-process
+// driver (same shape as dqm-serve's adapter).
+type inprocHubSession struct {
+	*dqm.Session
+}
+
+func (h inprocHubSession) Pending() bool { return h.StagedVotes() > 0 }
 
 func newInprocDriver(cfg config, sc scenario) (*inprocDriver, error) {
 	var (
@@ -414,7 +495,24 @@ func newInprocDriver(cfg config, sc scenario) (*inprocDriver, error) {
 	} else {
 		eng = dqm.NewEngine(dqm.EngineConfig{})
 	}
-	d := &inprocDriver{eng: eng}
+	d := &inprocDriver{eng: eng, marks: make([]atomic.Int64, cfg.Sessions)}
+	if sc.Watch {
+		d.hub = hub.New(hub.Config{
+			Resolve: func(id string) (hub.Session, bool) {
+				s, ok := eng.Session(id)
+				if !ok {
+					return nil, false
+				}
+				return inprocHubSession{s}, true
+			},
+			Encode: func(hs hub.Session, _ hub.View) ([]byte, uint64, error) {
+				s := hs.(inprocHubSession).Session
+				v := s.Version()
+				b, err := json.Marshal(s.Estimates())
+				return b, v, err
+			},
+		})
+	}
 	dcfg := dqm.Defaults()
 	if sc.Windowed {
 		dcfg.Window = windowCfg()
@@ -439,10 +537,17 @@ func (d *inprocDriver) do(_ context.Context, o op) error {
 		for i, v := range o.Votes {
 			batch[i] = dqm.Vote{Item: v.Item, Worker: v.Worker, Dirty: v.Dirty}
 		}
-		return s.AppendVotes(batch, true)
+		if err := s.AppendVotes(batch, true); err != nil {
+			return err
+		}
+		d.marks[o.Session].Store(time.Now().UnixNano())
+		return nil
 	case opBinaryIngest:
-		_, _, err := s.AppendDQMV(encodeBinaryBatch(o.Votes))
-		return err
+		if _, _, err := s.AppendDQMV(encodeBinaryBatch(o.Votes)); err != nil {
+			return err
+		}
+		d.marks[o.Session].Store(time.Now().UnixNano())
+		return nil
 	case opPoll:
 		s.Estimates()
 		return nil
@@ -456,26 +561,43 @@ func (d *inprocDriver) do(_ context.Context, o op) error {
 	return fmt.Errorf("unknown op kind %v", o.Kind)
 }
 
-// watch polls the session's lock-free mutation version — the in-process
-// analogue of an SSE subscriber — and reads estimates on every advance.
-func (d *inprocDriver) watch(ctx context.Context, session int, events *atomic.Int64) error {
-	s := d.sess[session]
-	var cursor uint64
-	t := time.NewTicker(5 * time.Millisecond)
-	defer t.Stop()
+// watch rides the fan-out hub — the in-process analogue of an SSE
+// subscriber: event-driven delivery of the encoded-once payload, coalescing
+// bursts to the latest version at a 10ms floor (the same interval the HTTP
+// driver requests).
+func (d *inprocDriver) watch(ctx context.Context, session int, tally *watchTally) error {
+	sub, ok := d.hub.Subscribe(sessionID(session), hub.ViewAll, 0, watchInterval)
+	if !ok {
+		return fmt.Errorf("watch: unknown session %d", session)
+	}
+	defer sub.Close()
+	var last uint64
 	for {
-		select {
-		case <-ctx.Done():
+		ev, ok := sub.Next(ctx)
+		if !ok {
 			return nil
-		case <-t.C:
-			if v := s.Version(); v != cursor {
-				s.Estimates()
-				cursor = v
-				events.Add(1)
-			}
 		}
+		if ev.Heartbeat {
+			continue
+		}
+		// One ingest op = one version bump, so the version delta counts
+		// updates coalesced away — the same arithmetic the HTTP driver
+		// applies to SSE ids.
+		var skipped int64
+		if last != 0 && ev.Version > last+1 {
+			skipped = int64(ev.Version - last - 1)
+		}
+		staleness := int64(-1)
+		if mark := d.marks[session].Load(); mark > 0 {
+			staleness = time.Now().UnixNano() - mark
+		}
+		tally.observe(skipped, staleness)
+		last = ev.Version
 	}
 }
+
+// watchInterval is the per-subscriber coalescing floor both drivers use.
+const watchInterval = 10 * time.Millisecond
 
 func (d *inprocDriver) close() error { return d.eng.Close() }
 
@@ -486,6 +608,10 @@ type httpDriver struct {
 	client   *http.Client
 	sessions int
 	batchBuf sync.Pool
+	// marks mirrors inprocDriver.marks: per-session UnixNano of the latest
+	// acknowledged ingest, read by watch subscribers to compute delivery
+	// staleness.
+	marks []atomic.Int64
 }
 
 func newHTTPDriver(cfg config, sc scenario) (*httpDriver, error) {
@@ -498,6 +624,7 @@ func newHTTPDriver(cfg config, sc scenario) (*httpDriver, error) {
 			},
 		},
 		sessions: cfg.Sessions,
+		marks:    make([]atomic.Int64, cfg.Sessions),
 	}
 	// Setup is bounded separately from the run: creating sessions against a
 	// dead target should fail fast, not hang.
@@ -598,6 +725,7 @@ func (d *httpDriver) do(ctx context.Context, o op) error {
 		if status != http.StatusOK {
 			return fmt.Errorf("ingest: HTTP %d", status)
 		}
+		d.marks[o.Session].Store(time.Now().UnixNano())
 		return nil
 	case opBinaryIngest:
 		status, err := d.postBinary(ctx, "/v1/sessions/"+id+"/votes", encodeBinaryBatch(o.Votes))
@@ -607,6 +735,7 @@ func (d *httpDriver) do(ctx context.Context, o op) error {
 		if status != http.StatusOK {
 			return fmt.Errorf("binary ingest: HTTP %d", status)
 		}
+		d.marks[o.Session].Store(time.Now().UnixNano())
 		return nil
 	case opPoll:
 		return d.expectOK(d.get(ctx, "/v1/sessions/"+id+"/estimates"))
@@ -628,10 +757,13 @@ func (d *httpDriver) expectOK(status int, err error) error {
 	return nil
 }
 
-// watch subscribes to the SSE stream and counts `event: estimates` frames.
-func (d *httpDriver) watch(ctx context.Context, session int, events *atomic.Int64) error {
+// watch subscribes to the SSE stream, reading each frame's `id:` line (the
+// session version) to count deliveries and coalesced skips without paying a
+// JSON decode per event; staleness comes off the driver's per-session
+// last-ingest mark, exactly like the in-process subscriber.
+func (d *httpDriver) watch(ctx context.Context, session int, tally *watchTally) error {
 	req, err := http.NewRequestWithContext(ctx, "GET",
-		d.base+"/v1/sessions/"+sessionID(session)+"/watch?min_interval=10ms", nil)
+		d.base+"/v1/sessions/"+sessionID(session)+"/watch?min_interval="+watchInterval.String(), nil)
 	if err != nil {
 		return err
 	}
@@ -643,11 +775,27 @@ func (d *httpDriver) watch(ctx context.Context, session int, events *atomic.Int6
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("watch: HTTP %d", resp.StatusCode)
 	}
+	var last uint64
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
-		if strings.HasPrefix(sc.Text(), "event: estimates") {
-			events.Add(1)
+		line := sc.Text()
+		if !strings.HasPrefix(line, "id: ") {
+			continue
 		}
+		v, err := strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+		if err != nil {
+			continue
+		}
+		var skipped int64
+		if last != 0 && v > last+1 {
+			skipped = int64(v - last - 1)
+		}
+		staleness := int64(-1)
+		if mark := d.marks[session].Load(); mark > 0 {
+			staleness = time.Now().UnixNano() - mark
+		}
+		tally.observe(skipped, staleness)
+		last = v
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -190,6 +191,38 @@ func TestRunWatchAndDriftScenarios(t *testing.T) {
 	}
 	if _, ok := rep.Ops["window_poll"]; !ok {
 		t.Errorf("drift scenario made no windowed reads: %+v", rep.Ops)
+	}
+}
+
+// TestRunWatchStormScenario smoke-runs the broadcast-stress shape in-process:
+// a subscriber population over few hot sessions must see deliveries through
+// the fan-out hub, and the report must carry the storm columns (events/s,
+// skip ratio, staleness percentiles).
+func TestRunWatchStormScenario(t *testing.T) {
+	rep, err := run(config{
+		Scenario: "watch-storm", Sessions: 2, Workers: 2, Watchers: 50,
+		Duration: 300 * time.Millisecond, Items: 100, Batch: 5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors != 0 {
+		t.Fatalf("watch-storm scenario errors:\n%s", rep.summary())
+	}
+	if rep.WatchSubs != 50 || rep.WatchEvents == 0 {
+		t.Fatalf("watch-storm subscribers saw no events: %+v", rep)
+	}
+	if rep.WatchEventsPerSec <= 0 {
+		t.Errorf("WatchEventsPerSec = %v, want > 0", rep.WatchEventsPerSec)
+	}
+	if rep.WatchLatency == nil {
+		t.Error("report missing watch delivery latency percentiles")
+	}
+	if rep.WatchSkipRatio < 0 || rep.WatchSkipRatio >= 1 {
+		t.Errorf("WatchSkipRatio = %v, want [0,1)", rep.WatchSkipRatio)
+	}
+	if !strings.Contains(rep.summary(), "events/s") {
+		t.Errorf("summary missing storm columns:\n%s", rep.summary())
 	}
 }
 

@@ -71,8 +71,13 @@ type scenario struct {
 	// from the all-time one.
 	Drift bool
 	// Watch additionally runs subscriber goroutines (SSE against an HTTP
-	// target, version-polling in-process) outside the op stream.
+	// target, fan-out-hub subscribers in-process) outside the op stream.
 	Watch bool
+	// Storm marks the broadcast-stress shape: many subscribers (default 2000
+	// when -watchers is unset) over few hot sessions, with the report adding
+	// delivered events/s, coalesced-skip ratio and delivery staleness
+	// percentiles.
+	Storm bool
 }
 
 // scenarios are the built-in workload shapes. Deterministic: the op stream of
@@ -84,6 +89,10 @@ var scenarios = []scenario{
 	{Name: "poll", Ingest: 10, Poll: 90},
 	{Name: "mixed", Ingest: 70, Poll: 30},
 	{Name: "watch", Ingest: 90, Poll: 10, Watch: true},
+	// watch-storm stresses the fan-out hub: pure ingest heat on few sessions
+	// while a large subscriber population (default 2000) rides the broadcast
+	// plane, measuring delivered events/s and how much coalescing absorbs.
+	{Name: "watch-storm", Ingest: 100, Watch: true, Storm: true},
 	{Name: "drift", Ingest: 80, Poll: 10, WindowPoll: 10, Windowed: true, Drift: true},
 	// poll-dirty separates the two read regimes the incremental estimation
 	// plane distinguishes: dirty reads (poll right after ingest → memo

@@ -32,20 +32,25 @@
 //	DELETE /v1/sessions/{id}               delete a session (and its snapshots)
 //	POST   /v1/sessions/{id}/votes         append a vote batch / task entries
 //	GET    /v1/sessions/{id}/estimates     estimates (?ci=0.95&replicates=200,
-//	                                       ?window=current|last|decayed)
+//	                                       ?window=current|last|decayed); sends
+//	                                       ETag:"<version>", honors If-None-Match
 //	GET    /v1/sessions/{id}/watch         SSE stream of estimate updates
-//	                                       (?cursor=, ?min_interval=, ?window=)
+//	                                       (?cursor=, ?min_interval=, ?window=;
+//	                                       Last-Event-ID resumes)
 //	POST   /v1/estimates:batch             estimates for many sessions at once
 //	POST   /v1/sessions/{id}/snapshots     snapshot the estimator state
 //	GET    /v1/sessions/{id}/snapshots     list snapshots
 //	POST   /v1/sessions/{id}/restore       restore a snapshot
 //
 // Estimate reads ride a per-session version-guarded cache: polling an
-// unchanged session is lock-free and O(1), and the watch endpoint pushes a
-// new payload only when the session's mutation version advances past the
-// subscriber's cursor (coalesced to -watch-min-interval). Sessions created
-// with "config":{"window":{"size":N,...}} additionally serve windowed
-// estimates — the quality of the last N tasks — via ?window=.
+// unchanged session is lock-free and O(1), If-None-Match on the current
+// version answers 304 from one atomic check, and all watch subscribers of a
+// session share a fan-out hub (internal/hub) that serializes each version's
+// SSE frame once and multicasts the bytes with coalesce-to-latest semantics
+// (floor: -watch-min-interval), woken by the engine's version-change
+// notifier rather than per-subscriber tickers. Sessions created with
+// "config":{"window":{"size":N,...}} additionally serve windowed estimates —
+// the quality of the last N tasks — via ?window=.
 //
 // A vote batch is either {"votes": [{"item","worker","dirty"}...],
 // "end_task": true} for one task, or {"entries": [{"task","item","worker",
@@ -85,6 +90,7 @@ import (
 	"time"
 
 	"dqm"
+	"dqm/internal/hub"
 	"dqm/internal/metrics"
 	"dqm/internal/votelog"
 )
@@ -235,6 +241,11 @@ type server struct {
 	snaps   map[string][]namedSnapshot
 	snapSeq atomic.Int64
 
+	// Watch fan-out plane (see hub.go): encode-once broadcast of estimate
+	// frames plus the conditional-read payload cache behind ETag/304.
+	hub             *hub.Hub
+	watchEncodeErrs *metrics.Counter
+
 	// Observability plane (see observability.go).
 	started     time.Time
 	reg         *metrics.Registry
@@ -271,8 +282,16 @@ func newServer(cfg serverConfig) (*server, error) {
 		Shards:      cfg.Shards,
 		MaxSessions: cfg.MaxSessions,
 		// LRU-evicted sessions must not leak their server-side snapshots (or
-		// resurrect them under a reused id).
-		OnEvict:              s.dropSnapshots,
+		// resurrect them under a reused id), and any watch streams must end
+		// rather than go silently stale on the detached session object (the
+		// nil guard covers evictions during engine recovery, before the hub
+		// exists).
+		OnEvict: func(id string) {
+			s.dropSnapshots(id)
+			if s.hub != nil {
+				s.hub.Drop(id)
+			}
+		},
 		Fsync:                cfg.Fsync,
 		FsyncInterval:        cfg.FsyncInterval,
 		RecoveryParallelism:  cfg.RecoveryParallelism,
@@ -299,6 +318,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		}
 	}
 	s.setupObservability()
+	s.setupHub()
 	s.route("GET /healthz", "healthz", s.handleHealth)
 	s.route("GET /v1/estimators", "estimators", s.handleEstimators)
 	s.route("POST /v1/sessions", "create_session", s.handleCreateSession)
@@ -525,6 +545,7 @@ func (s *server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.dropSnapshots(id)
+	s.hub.Drop(id)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -830,22 +851,53 @@ func (s *server) handleEstimates(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if wq := r.URL.Query().Get("window"); wq != "" {
-		if r.URL.Query().Get("ci") != "" {
-			writeError(w, http.StatusBadRequest, "ci is not supported on windowed estimates")
+	q := r.URL.Query()
+	if q.Get("ci") == "" {
+		// Plain and windowed reads ride the hub's encode-once payload cache
+		// and the ETag conditional-read plane; only the bootstrap-CI read —
+		// fresh randomized compute by definition — bypasses it below.
+		view := hub.ViewAll
+		if wq := q.Get("window"); wq != "" {
+			kind, err := dqm.ParseWindowKind(wq)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			view = viewForKind(kind)
+		}
+		// 304 pre-check before touching the cache: the client's tag matching
+		// the live version (with nothing staged) proves the payload it holds
+		// is current, whatever view it is — version guards them all.
+		etag := `"` + strconv.FormatUint(sess.Version(), 10) + `"`
+		if inm := r.Header.Get("If-None-Match"); inm != "" &&
+			etagMatches(inm, etag) && sess.StagedVotes() == 0 {
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
 			return
 		}
-		kind, err := dqm.ParseWindowKind(wq)
+		body, version, err, ok := s.hub.Payload(sess.ID(), view)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown session %q", sess.ID())
+			return
+		}
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			if errors.Is(err, errEncode) {
+				writeError(w, http.StatusInternalServerError, "%v", err)
+			} else {
+				// Windowed view without data yet (or no window config).
+				writeError(w, http.StatusConflict, "%v", err)
+			}
 			return
 		}
-		out, err := windowedToJSON(sess, kind)
-		if err != nil {
-			writeError(w, http.StatusConflict, "%v", err)
-			return
-		}
-		writeJSON(w, http.StatusOK, out)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("ETag", `"`+strconv.FormatUint(version, 10)+`"`)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+		_, _ = w.Write([]byte{'\n'})
+		return
+	}
+	if q.Get("window") != "" {
+		writeError(w, http.StatusBadRequest, "ci is not supported on windowed estimates")
 		return
 	}
 	out := estimatesToJSON(sess)
@@ -883,12 +935,16 @@ func (s *server) handleEstimates(w http.ResponseWriter, r *http.Request) {
 // handleWatch streams estimate updates over Server-Sent Events: whenever the
 // session's mutation version advances past the subscriber's cursor, one
 // `estimates` event carrying the usual estimates JSON (id: the new version)
-// is pushed. Change detection is a lock-free atomic load per tick, so even
-// thousands of idle watchers cost the session nothing; pushes are coalesced
-// to at most one per min-interval per subscriber. Clients resume with
-// ?cursor=<last seen version> (or the standard Last-Event-ID header) and may
-// RAISE the coalescing interval with ?min_interval= (the server flag is the
-// floor). ?window= streams a windowed view instead of the all-time estimate.
+// is pushed. The stream rides the fan-out hub (internal/hub): the payload is
+// encoded once per published version and multicast pre-serialized, wakeups
+// are event-driven off the engine's version notifier (idle sessions cost
+// zero CPU regardless of subscriber count), and a slow subscriber coalesces
+// to the latest version instead of queueing or blocking others. Clients
+// resume with ?cursor=<last seen version> (or the standard Last-Event-ID
+// header) and may RAISE the coalescing interval with ?min_interval= (the
+// server flag is the floor). ?window= streams a windowed view instead of the
+// all-time estimate. Write errors and write-deadline expiries terminate the
+// stream immediately — a dead peer is evicted, not spun on.
 func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.session(w, r)
 	if !ok {
@@ -900,15 +956,14 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	var kind dqm.WindowKind
-	windowed := false
+	view := hub.ViewAll
 	if wq := q.Get("window"); wq != "" {
-		k, err := dqm.ParseWindowKind(wq)
+		kind, err := dqm.ParseWindowKind(wq)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		kind, windowed = k, true
+		view = viewForKind(kind)
 		// Reject structurally impossible streams before committing to SSE: a
 		// session without windows (or without a decay aggregate) can never
 		// produce an event, and a silent 200 that only heartbeats would be
@@ -959,85 +1014,36 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	s.watchers.Inc()
 	defer s.watchers.Dec()
 
-	const heartbeat = 15 * time.Second
-	id := sess.ID()
-	// push re-resolves the session on every attempt: a pinned *Session would
-	// go silently stale after DELETE (or after LRU eviction + revival on a
-	// durable engine, which builds a NEW session object for subsequent
-	// ingest). The live lookup is a sharded map read; gone = stream over.
-	push := func() (sent, alive bool) {
-		cur, ok := s.engine.Session(id)
-		if !ok {
-			return false, false
-		}
-		v := cur.Version()
-		if v == cursor {
-			return false, true
-		}
-		var (
-			out estimatesJSON
-			err error
-		)
-		if windowed {
-			out, err = windowedToJSON(cur, kind)
-		} else {
-			out = estimatesToJSON(cur)
-		}
-		if err != nil {
-			// Windowed view not available yet (no completed window): advance
-			// the cursor silently and try again after the next mutation.
-			cursor = v
-			return false, true
-		}
-		b, merr := json.Marshal(out)
-		if merr != nil {
-			return false, true
-		}
-		fmt.Fprintf(w, "id: %d\nevent: estimates\ndata: %s\n\n", v, b)
-		fl.Flush()
-		cursor = v
-		return true, true
-	}
-
-	now := time.Now()
-	lastActivity, lastPush := now, now
-	if sent, alive := push(); !alive {
+	// Subscribing by id (not by the resolved *Session) ties the stream to the
+	// hub's lifecycle: DELETE or LRU eviction Drops the hub session, ending
+	// every stream rather than leaving it pinned to a detached object.
+	sub, ok := s.hub.Subscribe(sess.ID(), view, cursor, interval)
+	if !ok {
+		// The session vanished between validation and subscription.
 		return
-	} else if sent {
-		lastActivity = time.Now()
 	}
-	// Tick at least as often as the heartbeat needs, even when the client
-	// asked for a long coalescing interval — otherwise an idle stream sends
-	// nothing for min_interval and proxies with shorter idle timeouts cut it.
-	tick := interval
-	if tick > heartbeat {
-		tick = heartbeat
-	}
-	t := time.NewTicker(tick)
-	defer t.Stop()
+	defer sub.Close()
+
+	// Dead peers must be evicted at the next write, not discovered whenever
+	// the OS send buffer finally fills: every write arms a deadline covering
+	// at least one heartbeat period. Writers without deadline support (tests,
+	// exotic wrappers) still get write-error termination.
+	rc := http.NewResponseController(w)
+	const writeGrace = 2 * 15 * time.Second
 	for {
-		select {
-		case <-r.Context().Done():
+		ev, ok := sub.Next(r.Context())
+		if !ok {
+			// Context canceled, session deleted, or session evicted.
 			return
-		case <-t.C:
-			now := time.Now()
-			if now.Sub(lastPush) >= interval {
-				sent, alive := push()
-				if !alive {
-					return
-				}
-				if sent {
-					lastPush, lastActivity = now, now
-					continue
-				}
-			}
-			if now.Sub(lastActivity) >= heartbeat {
-				// Comment line: keeps proxies and clients from timing out an
-				// idle stream.
-				fmt.Fprint(w, ": keep-alive\n\n")
-				fl.Flush()
-				lastActivity = now
-			}
+		}
+		if err := rc.SetWriteDeadline(time.Now().Add(writeGrace)); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			return
+		}
+		if _, err := w.Write(ev.SSE); err != nil {
+			return
+		}
+		if err := rc.Flush(); err != nil {
+			return
 		}
 	}
 }
@@ -1063,17 +1069,20 @@ func (s *server) handleBatchEstimates(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d ids exceeds limit %d", len(req.IDs), maxBatchIDs)
 		return
 	}
-	var kind dqm.WindowKind
-	windowed := false
+	view := hub.ViewAll
 	if req.Window != "" {
-		k, err := dqm.ParseWindowKind(req.Window)
+		kind, err := dqm.ParseWindowKind(req.Window)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		kind, windowed = k, true
+		view = viewForKind(kind)
 	}
-	results := make(map[string]estimatesJSON, len(req.IDs))
+	// Each read rides the hub's encode-once payload cache: an unchanged
+	// session contributes its cached bytes verbatim (json.RawMessage), so a
+	// dashboard sweeping thousands of mostly-idle sessions re-encodes none
+	// of them.
+	results := make(map[string]json.RawMessage, len(req.IDs))
 	seen := make(map[string]struct{}, len(req.IDs))
 	var missing []string
 	errs := make(map[string]string)
@@ -1082,21 +1091,16 @@ func (s *server) handleBatchEstimates(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		seen[id] = struct{}{}
-		sess, ok := s.engine.Session(id)
+		body, _, err, ok := s.hub.Payload(id, view)
 		if !ok {
 			missing = append(missing, id)
 			continue
 		}
-		if windowed {
-			out, err := windowedToJSON(sess, kind)
-			if err != nil {
-				errs[id] = err.Error()
-				continue
-			}
-			results[id] = out
-		} else {
-			results[id] = estimatesToJSON(sess)
+		if err != nil {
+			errs[id] = err.Error()
+			continue
 		}
+		results[id] = json.RawMessage(body)
 	}
 	resp := map[string]any{"results": results}
 	if len(missing) > 0 {

@@ -106,6 +106,10 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Unwrap lets http.ResponseController reach the underlying writer's
+// write-deadline and flush support through the instrumentation wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // Code returns the response status (200 when the handler never set one).
 func (w *statusWriter) Code() int {
 	if w.code == 0 {

@@ -13,6 +13,9 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"dqm"
+	"dqm/internal/hub"
 )
 
 func mustServerT(t *testing.T, cfg serverConfig) *server {
@@ -360,12 +363,107 @@ func TestWatchEndsWhenSessionDeleted(t *testing.T) {
 	}
 }
 
-// BenchmarkWatchFanout measures SSE fan-out: K subscribers watch one session
-// while tasks stream in; an iteration is one mutation delivered to every
-// subscriber. Reported events/s is the aggregate delivery rate.
+// BenchmarkWatchFanout measures watch fan-out on one hot session; an
+// iteration is one mutation delivered to every subscriber, so events/s is
+// the aggregate delivery rate.
+//
+// "inproc" drives the hub directly (engine ingest -> notifier -> pump ->
+// hub subscribers) across subscriber populations and is the fan-out plane's
+// own ceiling; it also counts encoder calls and fails if a published
+// version is serialized more than once — the hub's encode-once contract at
+// the serve layer. "http" adds the full SSE stack at 1000 subscribers —
+// handler, ResponseController, chunked writes, client scanners — and is
+// syscall-bound on small machines.
 func BenchmarkWatchFanout(b *testing.B) {
+	for _, subs := range []int{100, 1000, 5000} {
+		b.Run(fmt.Sprintf("inproc/subs=%d", subs), func(b *testing.B) {
+			benchWatchFanoutInproc(b, subs)
+		})
+	}
+	b.Run("http", benchWatchFanoutHTTP)
+}
+
+func benchWatchFanoutInproc(b *testing.B, subscribers int) {
+	srv, err := newServer(serverConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := srv.engine.CreateSession("fan", 1000, dqm.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A dedicated hub with no pump floor, sharing the server's encoder (with
+	// a call counter in front): the measurement is pure fan-out, not
+	// coalescing-interval sleep.
+	var encodes atomic.Int64
+	h := hub.New(hub.Config{
+		Resolve: func(id string) (hub.Session, bool) {
+			s2, ok := srv.engine.Session(id)
+			if !ok {
+				return nil, false
+			}
+			return hubSession{s2}, true
+		},
+		Encode: func(s hub.Session, v hub.View) ([]byte, uint64, error) {
+			encodes.Add(1)
+			return srv.encodeEstimates(s, v)
+		},
+	})
+	defer h.Drop("fan")
+
+	var delivered atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < subscribers; i++ {
+		sub, ok := h.Subscribe("fan", hub.ViewAll, 0, 0)
+		if !ok {
+			b.Fatal("subscribe failed")
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sub.Close()
+			for {
+				ev, ok := sub.Next(ctx)
+				if !ok {
+					return
+				}
+				if !ev.Heartbeat {
+					delivered.Add(1)
+				}
+			}
+		}()
+	}
+
+	vote := []dqm.Vote{{Item: 1, Worker: 1, Dirty: true}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vote[0].Item = i % 1000
+		if err := sess.AppendVotes(vote, true); err != nil {
+			b.Fatal(err)
+		}
+		target := int64(i+1) * int64(subscribers)
+		for delivered.Load() < target {
+			time.Sleep(5 * time.Microsecond)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(delivered.Load())/b.Elapsed().Seconds(), "events/s")
+	perVersion := float64(encodes.Load()) / float64(b.N)
+	b.ReportMetric(perVersion, "encodes/version")
+	if perVersion > 1.01 {
+		b.Fatalf("encoded %.2f times per published version, want 1 (encode-once contract)", perVersion)
+	}
+	cancel()
+	wg.Wait()
+}
+
+func benchWatchFanoutHTTP(b *testing.B) {
 	const subscribers = 1000
-	srv, err := newServer(serverConfig{WatchMinInterval: 5 * time.Millisecond})
+	// 1ms floor: with event-driven wakeups the interval only bounds burst
+	// coalescing, so the old tick-phase-sized floor is unnecessary.
+	srv, err := newServer(serverConfig{WatchMinInterval: time.Millisecond})
 	if err != nil {
 		b.Fatal(err)
 	}

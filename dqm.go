@@ -630,6 +630,19 @@ func (s *Session) Estimates() Estimates { return fromInternal(s.s.Estimates()) }
 // reading estimates (the SSE watch endpoint of dqm-serve is built on it).
 func (s *Session) Version() uint64 { return s.s.Version() }
 
+// Notify registers ch to receive a non-blocking signal whenever the
+// session's version advances — the event-driven alternative to polling
+// Version. ch should be buffered (capacity 1 suffices): the signal is a
+// level, not a count, so receivers re-read Version after each wakeup. A
+// full channel is skipped, never blocked on; ingest stays allocation-free
+// with notifiers registered. Unregister with StopNotify.
+func (s *Session) Notify(ch chan<- struct{}) { s.s.AddNotifier(ch) }
+
+// StopNotify unregisters a channel registered with Notify. One stale signal
+// may still arrive after StopNotify returns (a concurrent mutation can load
+// the notifier set before the swap); receivers must tolerate it.
+func (s *Session) StopNotify(ch chan<- struct{}) { s.s.RemoveNotifier(ch) }
+
 // Windowed reports whether the session was created with a window config.
 func (s *Session) Windowed() bool { return s.s.Windowed() }
 

@@ -122,6 +122,14 @@ type Session struct {
 	version atomic.Uint64
 	// cached is the last published estimate snapshot, immutable once stored.
 	cached atomic.Pointer[estimateCache]
+
+	// notifiers is the registered set of version-advance signal channels,
+	// published copy-on-write so bump() reads it with one atomic load and no
+	// lock. Registration (AddNotifier/RemoveNotifier) is serialized by
+	// notifyMu; nil means nobody is watching, which is the common case and
+	// costs ingest a single pointer load.
+	notifiers atomic.Pointer[[]chan<- struct{}]
+	notifyMu  sync.Mutex
 }
 
 // estimateCache pairs an estimate snapshot with the session version it was
@@ -196,8 +204,61 @@ func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) 
 func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
 
 // bump publishes one applied mutation to lock-free readers. Call under mu,
-// after the state change.
-func (s *Session) bump() { s.version.Add(1) }
+// after the state change. Registered notifiers get a non-blocking signal: a
+// full channel means the receiver already has a pending wakeup and will see
+// this version when it drains, so the send is skipped — ingest never blocks
+// or allocates on account of watchers.
+func (s *Session) bump() {
+	s.version.Add(1)
+	if ns := s.notifiers.Load(); ns != nil {
+		for _, ch := range *ns {
+			select {
+			case ch <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// AddNotifier registers ch to receive a non-blocking signal whenever the
+// session's version advances. ch should be buffered (capacity 1 suffices:
+// the signal is a level, not a count — receivers re-read Version after each
+// wakeup). Registering the same channel twice double-signals it.
+func (s *Session) AddNotifier(ch chan<- struct{}) {
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
+	var cur []chan<- struct{}
+	if p := s.notifiers.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]chan<- struct{}, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, ch)
+	s.notifiers.Store(&next)
+}
+
+// RemoveNotifier unregisters ch. A concurrent bump may still signal ch once
+// after RemoveNotifier returns (it loads the notifier set before the swap);
+// receivers must tolerate one stale wakeup.
+func (s *Session) RemoveNotifier(ch chan<- struct{}) {
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
+	p := s.notifiers.Load()
+	if p == nil {
+		return
+	}
+	next := make([]chan<- struct{}, 0, len(*p))
+	for _, c := range *p {
+		if c != ch {
+			next = append(next, c)
+		}
+	}
+	if len(next) == 0 {
+		s.notifiers.Store(nil)
+		return
+	}
+	s.notifiers.Store(&next)
+}
 
 // applyVote feeds one vote to the all-time suite and the window ring. Every
 // ingest path — live and recovery replay — funnels through here, so the two

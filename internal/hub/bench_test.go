@@ -1,0 +1,86 @@
+package hub
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkHubEncodeOnce is the tentpole proof: K subscribers lock-stepped
+// over one session, one mutation per iteration. The instrumented encoder
+// counts marshals — the reported encodes/version must stay ~1 whether K is
+// 1 or 1000, and allocs/op must not scale with K (delivery is a cached-byte
+// handoff, not a per-subscriber encode).
+func BenchmarkHubEncodeOnce(b *testing.B) {
+	for _, subs := range []int{1, 1000} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			sess := &fakeSession{}
+			var encodes atomic.Int64
+			payload := []byte(`{"nominal":120,"voting":117.2,"chao92":131.8,"vchao92":129.4,"switch":130.1,"remaining":10.1,"tasks":64,"votes":320}`)
+			h := New(Config{
+				Resolve: func(id string) (Session, bool) { return sess, true },
+				Encode: func(s Session, view View) ([]byte, uint64, error) {
+					v := s.Version()
+					encodes.Add(1)
+					return payload, v, nil
+				},
+			})
+			defer h.Drop("s")
+
+			var delivered atomic.Int64
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var wg sync.WaitGroup
+			for i := 0; i < subs; i++ {
+				sub, ok := h.Subscribe("s", ViewAll, 0, 0)
+				if !ok {
+					b.Fatalf("Subscribe failed")
+				}
+				wg.Add(1)
+				go func(sub *Subscriber) {
+					defer wg.Done()
+					defer sub.Close()
+					for {
+						ev, ok := sub.Next(ctx)
+						if !ok {
+							return
+						}
+						if !ev.Heartbeat {
+							delivered.Add(1)
+						}
+					}
+				}(sub)
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				sess.bump()
+				target := int64(i+1) * int64(subs)
+				for delivered.Load() < target {
+					runtimeGosched()
+				}
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			cancel()
+			wg.Wait()
+
+			perVersion := float64(encodes.Load()) / float64(b.N)
+			b.ReportMetric(perVersion, "encodes/version")
+			b.ReportMetric(float64(delivered.Load())/elapsed.Seconds(), "events/s")
+			// Lock-step leaves no room for coalescing: anything beyond one
+			// encode per bump means the cache is broken.
+			if perVersion > 1.01 {
+				b.Fatalf("encodes/version = %.3f with %d subscribers, want ~1", perVersion, subs)
+			}
+		})
+	}
+}
+
+// runtimeGosched is a tiny indirection so the spin-wait reads as intent.
+func runtimeGosched() { time.Sleep(5 * time.Microsecond) }

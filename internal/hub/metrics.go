@@ -1,0 +1,23 @@
+package hub
+
+import "dqm/internal/metrics"
+
+// Hot-path counters live on the default registry as package-level vars so
+// delivery and encode paths pay a bare atomic add, matching the engine idiom.
+var (
+	metricEvents = metrics.Default.Counter("dqm_hub_events_total",
+		"Estimate frames delivered to hub subscribers.")
+	metricPublishes = metrics.Default.Counter("dqm_hub_publishes_total",
+		"Version-advance publishes fanned out by session pumps (post-coalescing).")
+	metricEncodes = metrics.Default.Counter("dqm_hub_encodes_total",
+		"Payload encodes performed by the hub (once per version per view).")
+	metricDropped = metrics.Default.Counter("dqm_hub_dropped_total",
+		"Publishes coalesced away because subscribers skipped to the latest version.")
+	metricSubscribers = metrics.Default.Gauge("dqm_hub_subscribers",
+		"Currently attached hub subscribers.")
+	metricFanout = metrics.Default.Histogram("dqm_hub_fanout_seconds",
+		"Latency from pump publish to subscriber delivery.", metrics.DurationBuckets)
+	metricQueueDepth = metrics.Default.Histogram("dqm_hub_queue_depth",
+		"Coalesced publish backlog observed at each delivery (0 = subscriber kept up).",
+		[]float64{0, 1, 2, 5, 10, 25, 100, 1000})
+)
