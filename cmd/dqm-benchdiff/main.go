@@ -28,7 +28,10 @@
 //     regression.
 //   - loadgen: the report must parse, contain ops, have zero errors, and
 //     clear -min-votes-per-sec and (for watch scenarios)
-//     -min-watch-events-per-sec.
+//     -min-watch-events-per-sec. Gate scenarios additionally clear
+//     -min-gate-transitions (the alerting plane actually fired),
+//     -max-webhook-dead-letters and -max-gate-stale-sessions (every firing
+//     was delivered and no cached decision lagged its session at quiesce).
 //
 // GOMAXPROCS name suffixes ("-8") are stripped, so baselines compare across
 // machines with different core counts (ns thresholds still assume comparable
@@ -83,12 +86,15 @@ func main() {
 		loadgen   = fs.String("loadgen", "", "dqm-loadgen report JSON to gate")
 		minVotes  = fs.Float64("min-votes-per-sec", 0, "minimum loadgen ingest throughput")
 		minWatch  = fs.Float64("min-watch-events-per-sec", 0, "minimum loadgen delivered watch events/s (watch scenarios)")
+		minTrans  = fs.Int64("min-gate-transitions", 0, "minimum loadgen gate action transitions (gate scenarios)")
+		maxDead   = fs.Int64("max-webhook-dead-letters", -1, "maximum loadgen webhook dead letters (gate scenarios; -1 = unchecked)")
+		maxStale  = fs.Int64("max-gate-stale-sessions", -1, "maximum loadgen sessions with a stale gate decision at quiesce (-1 = unchecked)")
 	)
 	fs.Parse(os.Args[1:])
 
 	failed := false
 	if *loadgen != "" {
-		if err := gateLoadgen(*loadgen, *minVotes, *minWatch); err != nil {
+		if err := gateLoadgen(*loadgen, *minVotes, *minWatch, *minTrans, *maxDead, *maxStale); err != nil {
 			log.Printf("FAIL %v", err)
 			failed = true
 		} else {
@@ -259,10 +265,19 @@ type loadgenReport struct {
 	// subscribers — present only for watch scenarios, gated by
 	// -min-watch-events-per-sec.
 	WatchEventsPerSec float64 `json:"watch_events_per_sec"`
+	// Gate is the quality-gate tally — present only for gate scenarios,
+	// gated by -min-gate-transitions / -max-webhook-dead-letters /
+	// -max-gate-stale-sessions.
+	Gate *struct {
+		Transitions        int64 `json:"gate_transitions"`
+		WebhookDeliveries  int64 `json:"webhook_deliveries"`
+		WebhookDeadLetters int64 `json:"webhook_dead_letters"`
+		StaleSessions      int64 `json:"gate_stale_sessions"`
+	} `json:"gate"`
 }
 
 // gateLoadgen validates a loadgen report.
-func gateLoadgen(path string, minVotes, minWatch float64) error {
+func gateLoadgen(path string, minVotes, minWatch float64, minTrans, maxDead, maxStale int64) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -285,6 +300,20 @@ func gateLoadgen(path string, minVotes, minWatch float64) error {
 	}
 	if rep.WatchEventsPerSec < minWatch {
 		return fmt.Errorf("%s: %.0f watch events/s below the %.0f floor", path, rep.WatchEventsPerSec, minWatch)
+	}
+	if minTrans > 0 || maxDead >= 0 || maxStale >= 0 {
+		if rep.Gate == nil {
+			return fmt.Errorf("%s: gate thresholds set but the report has no gate block (not a gate scenario?)", path)
+		}
+		if rep.Gate.Transitions < minTrans {
+			return fmt.Errorf("%s: %d gate transitions below the %d floor", path, rep.Gate.Transitions, minTrans)
+		}
+		if maxDead >= 0 && rep.Gate.WebhookDeadLetters > maxDead {
+			return fmt.Errorf("%s: %d webhook dead letters exceed the %d ceiling", path, rep.Gate.WebhookDeadLetters, maxDead)
+		}
+		if maxStale >= 0 && rep.Gate.StaleSessions > maxStale {
+			return fmt.Errorf("%s: %d sessions with a stale gate decision exceed the %d ceiling", path, rep.Gate.StaleSessions, maxStale)
+		}
 	}
 	return nil
 }

@@ -26,7 +26,12 @@
 // 2000 when -watchers is unset — reporting delivered events/s, the
 // coalesced-skip ratio and delivery staleness percentiles), drift (windowed
 // sessions; the generated error rate jumps 0.05→0.30 after 200 tasks per
-// worker, the regime windowed estimation exists for), poll-dirty (45/45/10
+// worker, the regime windowed estimation exists for), drift-gate (the drift
+// shape with a quality-gate policy on every session — in-process only; the
+// error-rate jump trips the remaining-errors rule into quarantine and every
+// action transition is webhook-delivered to a local receiver, with the
+// report's gate block recording transitions, deliveries, dead letters and
+// decisions still stale at quiesce), poll-dirty (45/45/10
 // ingest/poll/CI-poll on confidence-tracked sessions — the report separates
 // dirty-read latency from bootstrap-CI latency, with ingest's percentiles
 // showing the cost of a CI running concurrently), restart (populate
@@ -45,7 +50,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"runtime"
@@ -58,6 +65,7 @@ import (
 
 	"dqm"
 	"dqm/internal/hub"
+	"dqm/internal/policy"
 	"dqm/internal/votelog"
 )
 
@@ -81,7 +89,7 @@ func main() {
 	fs := flag.NewFlagSet("dqm-loadgen", flag.ExitOnError)
 	var cfg config
 	fs.StringVar(&cfg.Target, "target", "", "dqm-serve base URL (empty = drive the engine in-process)")
-	fs.StringVar(&cfg.Scenario, "scenario", "mixed", "workload scenario: ingest, binary-ingest, binary-mixed, poll, mixed, watch, watch-storm, drift, poll-dirty or restart")
+	fs.StringVar(&cfg.Scenario, "scenario", "mixed", "workload scenario: ingest, binary-ingest, binary-mixed, poll, mixed, watch, watch-storm, drift, drift-gate, poll-dirty or restart")
 	fs.IntVar(&cfg.Sessions, "sessions", 4, "concurrent sessions")
 	fs.IntVar(&cfg.Workers, "workers", 8, "concurrent load workers")
 	fs.DurationVar(&cfg.Duration, "duration", 5*time.Second, "measurement duration")
@@ -146,7 +154,21 @@ type report struct {
 	WatchSkipRatio    float64    `json:"watch_skip_ratio,omitempty"`
 	WatchLatency      *latencyMS `json:"watch_latency_ms,omitempty"`
 
+	// Gate is the quality-gate tally (drift-gate scenario): action
+	// transitions observed, webhook deliveries and dead letters, and how many
+	// sessions still had a stale cached decision after the post-run quiesce.
+	// cmd/dqm-benchdiff gates on these.
+	Gate *gateReport `json:"gate,omitempty"`
+
 	Ops map[string]opReport `json:"ops"`
+}
+
+// gateReport is the gate block of the report (drift-gate scenario).
+type gateReport struct {
+	Transitions        int64 `json:"gate_transitions"`
+	WebhookDeliveries  int64 `json:"webhook_deliveries"`
+	WebhookDeadLetters int64 `json:"webhook_dead_letters"`
+	StaleSessions      int64 `json:"gate_stale_sessions"`
 }
 
 // opReport aggregates one op kind.
@@ -180,6 +202,10 @@ func (r *report) summary() string {
 		o := r.Ops[k]
 		fmt.Fprintf(&b, "\n  %-12s %8d ops  p50=%.3fms p99=%.3fms max=%.3fms",
 			k, o.Count, o.Latency.P50, o.Latency.P99, o.Latency.Max)
+	}
+	if r.Gate != nil {
+		fmt.Fprintf(&b, "\n  %-12s %8d transitions  deliveries=%d dead_letters=%d stale=%d",
+			"gate", r.Gate.Transitions, r.Gate.WebhookDeliveries, r.Gate.WebhookDeadLetters, r.Gate.StaleSessions)
 	}
 	if r.WatchSubs > 0 {
 		fmt.Fprintf(&b, "\n  %-12s %8d events from %d subscribers", "watch", r.WatchEvents, r.WatchSubs)
@@ -378,6 +404,11 @@ func run(cfg config) (*report, error) {
 	if cfg.Target != "" {
 		rep.Target = cfg.Target
 	}
+	if sc.Gate {
+		// Quiesce the gate plane before reading it: trailing-edge evaluations
+		// and in-flight webhook deliveries finish after the last ingest ack.
+		rep.Gate = d.(*inprocDriver).gateStats()
+	}
 	for k := opKind(0); k < numOpKinds; k++ {
 		var merged []int64
 		var count, errs int64
@@ -472,6 +503,15 @@ type inprocDriver struct {
 	// hub is the fan-out plane subscribers ride (built only for watch
 	// scenarios), mirroring dqm-serve's wiring over the same engine.
 	hub *hub.Hub
+	// Gate-scenario plane: one event-driven policy gate per session, a shared
+	// bounded webhook dispatcher, and a local HTTP receiver the transition
+	// documents are delivered to (the same wiring dqm-serve runs, minus the
+	// network between gate and dispatcher).
+	gates       []*policy.Gate
+	dispatcher  *policy.Dispatcher
+	hookLn      net.Listener
+	hookSrv     *http.Server
+	transitions atomic.Int64
 }
 
 // inprocHubSession adapts *dqm.Session to hub.Session for the in-process
@@ -481,6 +521,61 @@ type inprocHubSession struct {
 }
 
 func (h inprocHubSession) Pending() bool { return h.StagedVotes() > 0 }
+
+// gateSource adapts *dqm.Session to policy.Source for the in-process driver
+// (the same adapter shape dqm-serve uses: version read before the estimates,
+// expensive inputs computed only when the policy references them).
+type gateSource struct {
+	sess *dqm.Session
+}
+
+func (g gateSource) Version() uint64               { return g.sess.Version() }
+func (g gateSource) Notify(ch chan<- struct{})     { g.sess.Notify(ch) }
+func (g gateSource) StopNotify(ch chan<- struct{}) { g.sess.StopNotify(ch) }
+
+func (g gateSource) Inputs(need policy.Needs) (policy.Inputs, error) {
+	in := policy.Inputs{Version: g.sess.Version()}
+	est := g.sess.Estimates()
+	in.Remaining = est.Remaining()
+	in.SwitchTotal = est.Switch.Total
+	in.Tasks = g.sess.Tasks()
+	in.Votes = g.sess.TotalVotes()
+	if need.CI {
+		if ci, err := g.sess.SwitchCI(need.CIReplicates, need.CILevel); err == nil {
+			in.CIUpper = ci.Hi
+			in.HasCI = true
+		}
+	}
+	if need.Drift {
+		if we, err := g.sess.WindowEstimates(dqm.WindowDecayed); err == nil {
+			in.DriftRatio = policy.DriftRatio(we.Estimates.Remaining(), in.Remaining)
+			in.HasDrift = true
+		}
+	}
+	return in, nil
+}
+
+// Gate-scenario tuning: the quarantine rule trips once a session's estimated
+// remaining errors cross gateRemainingThreshold (the drift schedule's
+// 0.05→0.30 jump makes that inevitable within a load run), the drift-ratio
+// warning exercises the windowed input path, and gateMinInterval coalesces
+// per-batch wakeups so evaluation stays off ingest's critical path.
+const (
+	gateRemainingThreshold = 50
+	gateDriftWarnRatio     = 0.5
+	gateMinInterval        = 5 * time.Millisecond
+)
+
+// gatePolicy is the per-session policy drift-gate sessions run.
+func gatePolicy(hookURL string) *policy.Policy {
+	return &policy.Policy{
+		Rules: []policy.Rule{
+			{Name: "remaining-errors", Metric: policy.MetricRemaining, Op: ">", Value: gateRemainingThreshold, Severity: policy.SeverityCritical},
+			{Name: "drifting", Metric: policy.MetricDriftRatio, Op: ">", Value: gateDriftWarnRatio, Severity: policy.SeverityWarning},
+		},
+		Webhook: &policy.Webhook{URL: hookURL},
+	}
+}
 
 func newInprocDriver(cfg config, sc scenario) (*inprocDriver, error) {
 	var (
@@ -526,7 +621,83 @@ func newInprocDriver(cfg config, sc scenario) (*inprocDriver, error) {
 		}
 		d.sess = append(d.sess, s)
 	}
+	if sc.Gate {
+		if err := d.attachGates(); err != nil {
+			d.close()
+			return nil, err
+		}
+	}
 	return d, nil
+}
+
+// attachGates stands up the gate plane: a loopback webhook receiver, the
+// shared dispatcher, and one event-driven gate per session. Transitions are
+// counted here and enqueued for delivery, so the report can prove both that
+// alerting fired and that every firing made it out of the process.
+func (d *inprocDriver) attachGates() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("gate webhook receiver: %w", err)
+	}
+	d.hookLn = ln
+	d.hookSrv = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusNoContent)
+	})}
+	go d.hookSrv.Serve(ln)
+	hookURL := "http://" + ln.Addr().String() + "/gate-hook"
+
+	d.dispatcher = policy.NewDispatcher(policy.DispatcherConfig{})
+	p := gatePolicy(hookURL)
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("gate policy: %w", err)
+	}
+	for i, s := range d.sess {
+		d.gates = append(d.gates, policy.NewGate(p, gateSource{sess: s}, policy.GateConfig{
+			SessionID:   sessionID(i),
+			MinInterval: gateMinInterval,
+			OnTransition: func(prev, cur policy.Action, dec policy.Decision, body []byte) {
+				d.transitions.Add(1)
+				// A full queue dead-letters inside Enqueue; every transition
+				// therefore ends as exactly one delivery or one dead letter,
+				// which is what gateStats waits on.
+				d.dispatcher.Enqueue(policy.Delivery{URL: hookURL, Body: body})
+			},
+		}))
+	}
+	return nil
+}
+
+// gateStats quiesces the gate plane and tallies it for the report: wait for
+// every gate's cached decision to catch up with its session (the pump may
+// still owe a trailing-edge evaluation) and for the dispatcher to drain the
+// deliveries the run enqueued, then count what remains stale.
+func (d *inprocDriver) gateStats() *gateReport {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		settled := d.dispatcher.Deliveries()+d.dispatcher.DeadLetters() >= d.transitions.Load()
+		for _, g := range d.gates {
+			if g.Stale() {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep := &gateReport{
+		Transitions:        d.transitions.Load(),
+		WebhookDeliveries:  d.dispatcher.Deliveries(),
+		WebhookDeadLetters: d.dispatcher.DeadLetters(),
+	}
+	for _, g := range d.gates {
+		if g.Stale() {
+			rep.StaleSessions++
+		}
+	}
+	return rep
 }
 
 func (d *inprocDriver) do(_ context.Context, o op) error {
@@ -599,7 +770,18 @@ func (d *inprocDriver) watch(ctx context.Context, session int, tally *watchTally
 // watchInterval is the per-subscriber coalescing floor both drivers use.
 const watchInterval = 10 * time.Millisecond
 
-func (d *inprocDriver) close() error { return d.eng.Close() }
+func (d *inprocDriver) close() error {
+	for _, g := range d.gates {
+		g.Close()
+	}
+	if d.dispatcher != nil {
+		d.dispatcher.Close()
+	}
+	if d.hookSrv != nil {
+		_ = d.hookSrv.Close()
+	}
+	return d.eng.Close()
+}
 
 // ---- HTTP driver ----
 
@@ -615,6 +797,12 @@ type httpDriver struct {
 }
 
 func newHTTPDriver(cfg config, sc scenario) (*httpDriver, error) {
+	if sc.Gate {
+		// Gate tallies (transitions, dispatcher counters, staleness) live
+		// inside the serving process; over HTTP they are observable only
+		// through the metrics endpoint, not a load report.
+		return nil, fmt.Errorf("scenario %q drives the gate plane in-process; drop -target", sc.Name)
+	}
 	d := &httpDriver{
 		base: strings.TrimRight(cfg.Target, "/"),
 		client: &http.Client{

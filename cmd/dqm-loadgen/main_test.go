@@ -226,6 +226,49 @@ func TestRunWatchStormScenario(t *testing.T) {
 	}
 }
 
+// TestRunDriftGateScenario smoke-runs the gate-alerting shape: every session
+// carries a quality-gate policy, the generated drift must trip at least one
+// action transition per session, every transition must be webhook-delivered
+// (zero dead letters against the loopback receiver), and after quiesce no
+// cached decision may lag its session. The gate plane is in-process only, so
+// an HTTP target must be refused up front.
+func TestRunDriftGateScenario(t *testing.T) {
+	rep, err := run(config{
+		Scenario: "drift-gate", Sessions: 2, Workers: 2,
+		Duration: 400 * time.Millisecond, Items: 500, Batch: 5, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors != 0 {
+		t.Fatalf("drift-gate scenario errors:\n%s", rep.summary())
+	}
+	g := rep.Gate
+	if g == nil {
+		t.Fatalf("drift-gate report has no gate block: %+v", rep)
+	}
+	if g.Transitions < 2 {
+		t.Errorf("gate transitions = %d, want >= 2 (one per session)", g.Transitions)
+	}
+	if g.WebhookDeliveries < g.Transitions || g.WebhookDeadLetters != 0 {
+		t.Errorf("webhook deliveries = %d, dead letters = %d for %d transitions",
+			g.WebhookDeliveries, g.WebhookDeadLetters, g.Transitions)
+	}
+	if g.StaleSessions != 0 {
+		t.Errorf("gate decisions still stale after quiesce: %d", g.StaleSessions)
+	}
+	if !strings.Contains(rep.summary(), "transitions") {
+		t.Errorf("summary missing the gate row:\n%s", rep.summary())
+	}
+
+	if _, err := run(config{
+		Scenario: "drift-gate", Target: "http://127.0.0.1:1", Sessions: 1, Workers: 1,
+		Duration: 50 * time.Millisecond, Items: 10, Batch: 5, Seed: 9,
+	}); err == nil {
+		t.Error("drift-gate against an HTTP target must be refused")
+	}
+}
+
 // TestRunPollDirtyScenario smoke-runs the poll-dirty mix: confidence-tracked
 // sessions must serve bootstrap-CI reads alongside plain estimate polls with
 // zero errors, and the report must split the two read kinds.

@@ -70,6 +70,13 @@ type scenario struct {
 	// windowed-estimation regime where the recent-window estimate diverges
 	// from the all-time one.
 	Drift bool
+	// Gate attaches a quality-gate policy to every session (in-process driver
+	// only): a remaining-errors quarantine rule plus a drift-ratio warning,
+	// with action transitions delivered to a local webhook receiver through
+	// the bounded dispatcher. The report gains a "gate" block
+	// (gate_transitions, webhook_deliveries, webhook_dead_letters,
+	// gate_stale_sessions) that CI gates on.
+	Gate bool
 	// Watch additionally runs subscriber goroutines (SSE against an HTTP
 	// target, fan-out-hub subscribers in-process) outside the op stream.
 	Watch bool
@@ -94,6 +101,13 @@ var scenarios = []scenario{
 	// plane, measuring delivered events/s and how much coalescing absorbs.
 	{Name: "watch-storm", Ingest: 100, Watch: true, Storm: true},
 	{Name: "drift", Ingest: 80, Poll: 10, WindowPoll: 10, Windowed: true, Drift: true},
+	// drift-gate runs the drift shape with a quality gate on every session:
+	// ingest drives event-driven policy re-evaluation, the error-rate jump
+	// trips the remaining-errors rule into quarantine, and each transition
+	// rides the webhook dispatcher to a local receiver. The report's gate
+	// block is the CI proof that alerting fires under drift with zero dead
+	// letters and no stale decisions at quiesce.
+	{Name: "drift-gate", Ingest: 90, Poll: 10, Windowed: true, Drift: true, Gate: true},
 	// poll-dirty separates the two read regimes the incremental estimation
 	// plane distinguishes: dirty reads (poll right after ingest → memo
 	// refresh) and bootstrap-CI reads, with ingest continuing underneath.

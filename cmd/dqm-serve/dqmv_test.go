@@ -60,7 +60,11 @@ func TestVotesContentTypeDispatch(t *testing.T) {
 
 	for _, ct := range []string{"text/csv", "application/octet-stream", "multipart/form-data; boundary=x"} {
 		out := doRaw(t, srv, "POST", "/v1/sessions/ct/votes", ct, jsonBody, http.StatusUnsupportedMediaType)
-		msg, _ := out["error"].(string)
+		env, _ := out["error"].(map[string]any)
+		if code, _ := env["code"].(string); code != "unsupported_media_type" {
+			t.Fatalf("415 code for %q = %q, want unsupported_media_type", ct, code)
+		}
+		msg, _ := env["message"].(string)
 		if !bytes.Contains([]byte(msg), []byte("application/json")) || !bytes.Contains([]byte(msg), []byte(contentTypeDQMV)) {
 			t.Fatalf("415 body for %q does not name the accepted encodings: %v", ct, out)
 		}
@@ -147,14 +151,19 @@ func TestDQMVIngestValidation(t *testing.T) {
 	// item through the columnar builder: append a fresh out-of-range vote.
 	body = append(body, votelog.AppendBinaryVote(nil, 9, 0, true)...)
 	out := doRaw(t, srv, "POST", "/v1/sessions/v/votes", contentTypeDQMV, body, http.StatusBadRequest)
-	if out["error"] == nil {
-		t.Fatalf("no error field in %v", out)
+	env, _ := out["error"].(map[string]any)
+	if env == nil {
+		t.Fatalf("no error envelope in %v", out)
 	}
-	if got := out["ingested"].(float64); got != 3 {
-		t.Fatalf("ingested = %v, want 3 (tasks 0 and 1 applied)", out["ingested"])
+	if code, _ := env["code"].(string); code != "invalid_batch" {
+		t.Fatalf("code = %q, want invalid_batch", code)
 	}
-	if got := out["tasks_ended"].(float64); got != 2 {
-		t.Fatalf("tasks_ended = %v, want 2", out["tasks_ended"])
+	details, _ := env["details"].(map[string]any)
+	if got := details["ingested"].(float64); got != 3 {
+		t.Fatalf("ingested = %v, want 3 (tasks 0 and 1 applied)", details["ingested"])
+	}
+	if got := details["tasks_ended"].(float64); got != 2 {
+		t.Fatalf("tasks_ended = %v, want 2", details["tasks_ended"])
 	}
 	est := do(t, srv, "GET", "/v1/sessions/v/estimates", nil, http.StatusOK)
 	if got := est["votes"].(float64); got != 3 {

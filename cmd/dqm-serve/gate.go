@@ -1,0 +1,259 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dqm"
+	"dqm/internal/policy"
+)
+
+// The quality-gate plane: one event-driven policy.Gate per gated session.
+// Each gate registers on the session's version notifier (the same wakeup the
+// watch hub rides), re-evaluates its rules when the session mutates, and
+// caches the decision pre-serialized — GET /v1/sessions/{id}/gate is a frame
+// load plus one write, with ETag/304 on the decision version. Action
+// transitions (proceed↔warn↔quarantine) enqueue the decision document on the
+// shared bounded webhook dispatcher; steady-state decisions never leave the
+// process.
+
+// gateSource adapts *dqm.Session to policy.Source. Inputs reads the version
+// BEFORE the estimates (the same at-least-once discipline as the read
+// plane), and only computes the bootstrap CI / windowed drift view when the
+// policy's rules reference them.
+type gateSource struct {
+	sess *dqm.Session
+}
+
+func (g gateSource) Version() uint64               { return g.sess.Version() }
+func (g gateSource) Notify(ch chan<- struct{})     { g.sess.Notify(ch) }
+func (g gateSource) StopNotify(ch chan<- struct{}) { g.sess.StopNotify(ch) }
+
+func (g gateSource) Inputs(need policy.Needs) (policy.Inputs, error) {
+	sess := g.sess
+	in := policy.Inputs{Version: sess.Version()}
+	est := sess.Estimates()
+	in.Remaining = est.Remaining()
+	in.SwitchTotal = est.Switch.Total
+	in.Tasks = sess.Tasks()
+	in.Votes = sess.TotalVotes()
+	if need.CI {
+		// Unavailable (confidence not tracked, no data yet) is not an error:
+		// the rule is reported as unavailable in the decision instead.
+		if ci, err := sess.SwitchCI(need.CIReplicates, need.CILevel); err == nil {
+			in.CIUpper = ci.Hi
+			in.HasCI = true
+		}
+	}
+	if need.Drift {
+		if we, err := sess.WindowEstimates(dqm.WindowDecayed); err == nil {
+			in.DriftRatio = policy.DriftRatio(we.Estimates.Remaining(), in.Remaining)
+			in.HasDrift = true
+		}
+	}
+	return in, nil
+}
+
+// gate returns the session's live gate, if any.
+func (s *server) gate(id string) *policy.Gate {
+	s.gateMu.Lock()
+	g := s.gates[id]
+	s.gateMu.Unlock()
+	return g
+}
+
+// ensureGate attaches a gate to the session if it should have one (its own
+// persisted policy, else the server default) and doesn't yet — the path by
+// which created, recovered, and LRU-revived sessions all come online.
+// Idempotent and cheap when nothing is to be done: an ungated session with no
+// default policy exits on two atomic loads without touching the mutex.
+func (s *server) ensureGate(sess *dqm.Session) *policy.Gate {
+	raw := sess.PolicyJSON()
+	if raw == nil {
+		raw = s.cfg.DefaultPolicy
+	}
+	if raw == nil {
+		return nil
+	}
+	id := sess.ID()
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	if g, ok := s.gates[id]; ok {
+		return g
+	}
+	p, err := policy.Parse(raw)
+	if err != nil {
+		// A persisted policy that no longer parses (schema skew across
+		// versions) must not brick the session; it serves ungated and the
+		// operator re-PUTs.
+		return nil
+	}
+	return s.attachGateLocked(id, sess, p)
+}
+
+// attachGateLocked builds the gate (one synchronous seed evaluation inside)
+// and registers it. Caller holds gateMu.
+func (s *server) attachGateLocked(id string, sess *dqm.Session, p *policy.Policy) *policy.Gate {
+	var g *policy.Gate
+	onTransition := func(prev, cur policy.Action, dec policy.Decision, body []byte) {
+		// The webhook config is read from the gate's CURRENT policy, so a
+		// PUT that changes the URL redirects in-flight transitions too.
+		cp := g.Policy()
+		if cp == nil || cp.Webhook == nil {
+			return
+		}
+		s.dispatcher.Enqueue(policy.Delivery{
+			URL:         cp.Webhook.URL,
+			Body:        body,
+			Timeout:     time.Duration(cp.Webhook.TimeoutMS) * time.Millisecond,
+			MaxAttempts: cp.Webhook.MaxAttempts,
+		})
+	}
+	g = policy.NewGate(p, gateSource{sess: sess}, policy.GateConfig{
+		SessionID:    id,
+		MinInterval:  s.cfg.GateMinInterval,
+		OnTransition: onTransition,
+	})
+	s.gates[id] = g
+	return g
+}
+
+// dropGate detaches and closes a session's gate. Close happens off this
+// goroutine: dropGate is called from engine eviction callbacks that may hold
+// session-internal locks the pump's in-flight evaluation needs, so waiting
+// here could deadlock.
+func (s *server) dropGate(id string) {
+	s.gateMu.Lock()
+	g, ok := s.gates[id]
+	delete(s.gates, id)
+	s.gateMu.Unlock()
+	if ok {
+		go g.Close()
+	}
+}
+
+// handleGate serves the cached gate decision: pre-serialized bytes, tagged
+// with the decision's session version, honoring If-None-Match with a 304.
+func (s *server) handleGate(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	g := s.ensureGate(sess)
+	if g == nil {
+		writeError(w, http.StatusNotFound, codePolicyNotFound,
+			"session %q has no policy attached (PUT /v1/sessions/%s/policy or start with -policy-file)",
+			sess.ID(), sess.ID())
+		return
+	}
+	f := g.Frame()
+	etag := `"` + strconv.FormatUint(f.Version, 10) + `"`
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", etag)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(f.Body)
+	_, _ = w.Write([]byte{'\n'})
+}
+
+// handlePutPolicy validates, persists (session meta survives restart), and
+// attaches the policy, re-evaluating synchronously so the response reports
+// the decision under the new rules.
+func (s *server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, codeInvalidBody, "reading request body: %v", err)
+		return
+	}
+	p, err := policy.Parse(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidPolicy, "%v", err)
+		return
+	}
+	if err := s.engine.SetSessionPolicy(sess.ID(), raw); err != nil {
+		writeError(w, http.StatusServiceUnavailable, codeJournalUnavailable, "%v", err)
+		return
+	}
+	s.gateMu.Lock()
+	g, attached := s.gates[sess.ID()]
+	if !attached {
+		g = s.attachGateLocked(sess.ID(), sess, p)
+	}
+	s.gateMu.Unlock()
+	if attached {
+		g.SetPolicy(p)
+	}
+	f := g.Frame()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"policy":  json.RawMessage(raw),
+		"source":  "session",
+		"action":  f.Action.String(),
+		"version": f.Version,
+	})
+}
+
+// handleGetPolicy returns the effective policy and where it came from: the
+// session's own document, or the server-wide -policy-file default.
+func (s *server) handleGetPolicy(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	raw, source := sess.PolicyJSON(), "session"
+	if raw == nil {
+		raw, source = s.cfg.DefaultPolicy, "server_default"
+	}
+	if raw == nil {
+		writeError(w, http.StatusNotFound, codePolicyNotFound, "session %q has no policy attached", sess.ID())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"policy": json.RawMessage(raw),
+		"source": source,
+	})
+}
+
+// handleDeletePolicy removes the session's own policy. The server default
+// (if any) takes back over — it is server configuration, not session state,
+// so it cannot be deleted per session.
+func (s *server) handleDeletePolicy(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	if sess.PolicyJSON() == nil {
+		writeError(w, http.StatusNotFound, codePolicyNotFound, "session %q has no policy attached", sess.ID())
+		return
+	}
+	if err := s.engine.SetSessionPolicy(sess.ID(), nil); err != nil {
+		writeError(w, http.StatusServiceUnavailable, codeJournalUnavailable, "%v", err)
+		return
+	}
+	if s.cfg.DefaultPolicy != nil {
+		if p, err := policy.Parse(s.cfg.DefaultPolicy); err == nil {
+			if g := s.gate(sess.ID()); g != nil {
+				g.SetPolicy(p)
+			}
+		}
+	} else {
+		s.dropGate(sess.ID())
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -7,7 +7,7 @@
 //
 //	dqm-serve [-addr :8334] [-shards 32] [-max-sessions 0] [-max-batch 100000]
 //	          [-data-dir DIR] [-fsync batch|always|never] [-fsync-interval 100ms]
-//	          [-pprof] [-log-stats-interval 30s]
+//	          [-policy-file policy.json] [-pprof] [-log-stats-interval 30s]
 //
 // With -data-dir the engine is durable: every session write-ahead-journals
 // its votes under DIR, all journaled sessions are recovered on boot with
@@ -41,6 +41,23 @@
 //	POST   /v1/sessions/{id}/snapshots     snapshot the estimator state
 //	GET    /v1/sessions/{id}/snapshots     list snapshots
 //	POST   /v1/sessions/{id}/restore       restore a snapshot
+//	GET    /v1/sessions/{id}/gate          cached quality-gate decision
+//	                                       (ETag:"<version>", honors If-None-Match)
+//	PUT    /v1/sessions/{id}/policy        attach/replace the session's gate policy
+//	GET    /v1/sessions/{id}/policy        effective policy + source
+//	DELETE /v1/sessions/{id}/policy        remove the session's own policy
+//
+// Errors are a uniform JSON envelope {"error":{"code","message","details"}}
+// with stable machine-readable codes (see docs/API.md); partial-ingest
+// failures carry "ingested"/"tasks_ended" resume counters in details.
+//
+// Quality gates: a policy (rules over remaining errors, SWITCH total,
+// bootstrap-CI upper bound, windowed drift ratio) attaches per session via
+// PUT .../policy, or to every session without its own via -policy-file. Each
+// gated session gets an event-driven evaluator that re-runs on mutation (no
+// polling) and caches the decision pre-serialized; action transitions
+// (proceed/warn/quarantine) POST the decision document to the policy's
+// webhook through a bounded async dispatcher with retry and backoff.
 //
 // Estimate reads ride a per-session version-guarded cache: polling an
 // unchanged session is lock-free and O(1), If-None-Match on the current
@@ -82,6 +99,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -92,6 +110,7 @@ import (
 	"dqm"
 	"dqm/internal/hub"
 	"dqm/internal/metrics"
+	"dqm/internal/policy"
 	"dqm/internal/votelog"
 )
 
@@ -112,12 +131,24 @@ func main() {
 		drainWait   = fs.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 		enablePprof = fs.Bool("pprof", false, "expose /debug/pprof/ runtime profiles")
 		statsEvery  = fs.Duration("log-stats-interval", 0, "log a one-line stats summary at this interval (0 = off)")
+		policyFile  = fs.String("policy-file", "", "JSON quality-gate policy applied to every session without its own (see docs/API.md)")
 	)
 	fs.Parse(os.Args[1:])
 
 	fsync, err := parseFsync(*fsyncMode)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var defaultPolicy json.RawMessage
+	if *policyFile != "" {
+		raw, err := os.ReadFile(*policyFile)
+		if err != nil {
+			log.Fatalf("dqm-serve: -policy-file: %v", err)
+		}
+		if _, err := policy.Parse(raw); err != nil {
+			log.Fatalf("dqm-serve: -policy-file %s: %v", *policyFile, err)
+		}
+		defaultPolicy = raw
 	}
 	srv, err := newServer(serverConfig{
 		Shards:               *shards,
@@ -132,6 +163,7 @@ func main() {
 		BootstrapParallelism: *bootPar,
 		EnablePprof:          *enablePprof,
 		LogStatsInterval:     *statsEvery,
+		DefaultPolicy:        defaultPolicy,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -225,6 +257,16 @@ type serverConfig struct {
 	// LogStatsInterval, when positive, logs a one-line operational summary
 	// (sessions, ingest rate, cache hit ratio, subscribers) at this interval.
 	LogStatsInterval time.Duration
+	// DefaultPolicy, when non-empty, is a validated quality-gate policy
+	// document applied to every session that has none of its own
+	// (the -policy-file flag).
+	DefaultPolicy json.RawMessage
+	// GateMinInterval rate-limits per-session gate re-evaluation under bursty
+	// ingest (evaluations coalesce to the trailing edge); 0 selects 50ms.
+	GateMinInterval time.Duration
+	// Webhook tunes the shared transition-webhook dispatcher; zero fields
+	// select the policy package defaults.
+	Webhook policy.DispatcherConfig
 }
 
 // server is the HTTP front of one dqm.Engine. Snapshots live server-side,
@@ -245,6 +287,12 @@ type server struct {
 	// frames plus the conditional-read payload cache behind ETag/304.
 	hub             *hub.Hub
 	watchEncodeErrs *metrics.Counter
+
+	// Quality-gate plane (see gate.go): one event-driven policy.Gate per
+	// gated session plus the shared bounded webhook dispatcher.
+	gateMu     sync.Mutex
+	gates      map[string]*policy.Gate
+	dispatcher *policy.Dispatcher
 
 	// Observability plane (see observability.go).
 	started     time.Time
@@ -273,11 +321,16 @@ func newServer(cfg serverConfig) (*server, error) {
 	if cfg.WatchMinInterval <= 0 {
 		cfg.WatchMinInterval = 250 * time.Millisecond
 	}
+	if cfg.GateMinInterval <= 0 {
+		cfg.GateMinInterval = 50 * time.Millisecond
+	}
 	s := &server{
 		mux:   http.NewServeMux(),
 		cfg:   cfg,
 		snaps: make(map[string][]namedSnapshot),
+		gates: make(map[string]*policy.Gate),
 	}
+	s.dispatcher = policy.NewDispatcher(cfg.Webhook)
 	engineCfg := dqm.EngineConfig{
 		Shards:      cfg.Shards,
 		MaxSessions: cfg.MaxSessions,
@@ -288,6 +341,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		// exists).
 		OnEvict: func(id string) {
 			s.dropSnapshots(id)
+			s.dropGate(id)
 			if s.hub != nil {
 				s.hub.Drop(id)
 			}
@@ -332,6 +386,18 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.route("POST /v1/sessions/{id}/snapshots", "create_snapshot", s.handleCreateSnapshot)
 	s.route("GET /v1/sessions/{id}/snapshots", "list_snapshots", s.handleListSnapshots)
 	s.route("POST /v1/sessions/{id}/restore", "restore", s.handleRestore)
+	s.route("GET /v1/sessions/{id}/gate", "gate", s.handleGate)
+	s.route("PUT /v1/sessions/{id}/policy", "put_policy", s.handlePutPolicy)
+	s.route("GET /v1/sessions/{id}/policy", "get_policy", s.handleGetPolicy)
+	s.route("DELETE /v1/sessions/{id}/policy", "delete_policy", s.handleDeletePolicy)
+	// Gates for sessions recovered from a durable data dir (their policies
+	// ride session meta) and for the server default policy attach now, so the
+	// alerting plane is live before the first request.
+	for _, id := range s.engine.SessionIDs() {
+		if sess, ok := s.engine.Session(id); ok {
+			s.ensureGate(sess)
+		}
+	}
 	if cfg.LogStatsInterval > 0 {
 		s.stats = s.startStatsLogger(cfg.LogStatsInterval)
 	}
@@ -340,10 +406,22 @@ func newServer(cfg serverConfig) (*server, error) {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the stats logger, then flushes a final checkpoint of every live
+// Close stops the stats logger and the gate plane (every gate's pump, then
+// the webhook dispatcher), then flushes a final checkpoint of every live
 // session and closes the engine's journals (no-op for in-memory engines).
 func (s *server) Close() error {
 	s.stats.Stop()
+	s.gateMu.Lock()
+	gates := make([]*policy.Gate, 0, len(s.gates))
+	for id, g := range s.gates {
+		gates = append(gates, g)
+		delete(s.gates, id)
+	}
+	s.gateMu.Unlock()
+	for _, g := range gates {
+		g.Close()
+	}
+	s.dispatcher.Close()
 	return s.engine.Close()
 }
 
@@ -363,10 +441,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
 // decodeBody strictly decodes one JSON object into v. The body is wrapped in
 // http.MaxBytesReader (not a silent LimitReader): an oversized body gets a
 // clean 413 and the server closes the connection instead of buffering an
@@ -378,23 +452,27 @@ func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	if err := dec.Decode(v); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge, "request body exceeds %d bytes", mbe.Limit)
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, codeInvalidBody, "bad request body: %v", err)
 		return false
 	}
 	return true
 }
 
-// session resolves the {id} path value, writing a 404 on a miss.
+// session resolves the {id} path value, writing a 404 on a miss. Resolution
+// also re-arms the quality gate: a session revived from disk after LRU
+// eviction lost its gate with the eviction, and must not serve ingest with
+// its alerting plane silently detached (no-op for ungated sessions).
 func (s *server) session(w http.ResponseWriter, r *http.Request) (*dqm.Session, bool) {
 	id := r.PathValue("id")
 	sess, ok := s.engine.Session(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		writeError(w, http.StatusNotFound, codeSessionNotFound, "unknown session %q", id)
 		return nil, false
 	}
+	s.ensureGate(sess)
 	return sess, true
 }
 
@@ -479,7 +557,7 @@ func (s *server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg, err := req.Config.toConfig()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 		return
 	}
 	id := req.ID
@@ -500,13 +578,14 @@ func (s *server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		if auto && exists && attempt < 16 {
 			continue
 		}
-		status := http.StatusBadRequest
+		status, code := http.StatusBadRequest, codeInvalidArgument
 		if exists {
-			status = http.StatusConflict
+			status, code = http.StatusConflict, codeSessionExists
 		}
-		writeError(w, status, "%v", err)
+		writeError(w, status, code, "%v", err)
 		return
 	}
+	s.ensureGate(sess)
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"id":         sess.ID(),
 		"items":      sess.NumItems(),
@@ -514,8 +593,43 @@ func (s *server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleListSessions(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"sessions": s.engine.SessionIDs()})
+// handleListSessions pages through session ids in lexicographic order.
+// ?limit= caps the page (default 1000, max 10000) and ?cursor= resumes after
+// the given id; a truncated response carries "next_cursor" (the last id of
+// the page), absent on the final page. Cursors are plain session ids, so a
+// listing stays correct across concurrent creates/deletes: new ids sort into
+// their place and a deleted cursor id still orders the resume point.
+func (s *server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	const (
+		defaultListLimit = 1000
+		maxListLimit     = 10000
+	)
+	q := r.URL.Query()
+	limit := defaultListLimit
+	if lq := q.Get("limit"); lq != "" {
+		n, err := strconv.Atoi(lq)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "bad limit %q (want a positive integer)", lq)
+			return
+		}
+		if limit = n; limit > maxListLimit {
+			limit = maxListLimit
+		}
+	}
+	ids := s.engine.SessionIDs()
+	sort.Strings(ids)
+	if cq := q.Get("cursor"); cq != "" {
+		// Resume strictly after the cursor id (SearchStrings finds the first
+		// id > cursor whether or not the cursor itself still exists).
+		ids = ids[sort.SearchStrings(ids, cq+"\x00"):]
+	}
+	resp := map[string]any{}
+	if len(ids) > limit {
+		ids = ids[:limit]
+		resp["next_cursor"] = ids[len(ids)-1]
+	}
+	resp["sessions"] = ids
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
@@ -541,10 +655,11 @@ func (s *server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.engine.DeleteSession(id) {
-		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		writeError(w, http.StatusNotFound, codeSessionNotFound, "unknown session %q", id)
 		return
 	}
 	s.dropSnapshots(id)
+	s.dropGate(id)
 	s.hub.Drop(id)
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -579,7 +694,7 @@ func (s *server) handleAppendVotes(w http.ResponseWriter, r *http.Request) {
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		mt, _, err := mime.ParseMediaType(ct)
 		if err != nil {
-			writeError(w, http.StatusUnsupportedMediaType,
+			writeError(w, http.StatusUnsupportedMediaType, codeUnsupportedMediaType,
 				"malformed Content-Type %q (accepted: application/json, %s)", ct, contentTypeDQMV)
 			return
 		}
@@ -589,7 +704,7 @@ func (s *server) handleAppendVotes(w http.ResponseWriter, r *http.Request) {
 			return
 		case "application/json", "text/json":
 		default:
-			writeError(w, http.StatusUnsupportedMediaType,
+			writeError(w, http.StatusUnsupportedMediaType, codeUnsupportedMediaType,
 				"unsupported Content-Type %q (accepted: application/json, %s)", mt, contentTypeDQMV)
 			return
 		}
@@ -603,14 +718,14 @@ func (s *server) handleAppendVotes(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Votes) > 0 && len(req.Entries) > 0 {
-		writeError(w, http.StatusBadRequest, "provide either votes or entries, not both")
+		writeError(w, http.StatusBadRequest, codeInvalidBatch, "provide either votes or entries, not both")
 		return
 	}
 	if n := len(req.Votes) + len(req.Entries); n == 0 && !req.EndTask {
-		writeError(w, http.StatusBadRequest, "empty batch")
+		writeError(w, http.StatusBadRequest, codeInvalidBatch, "empty batch")
 		return
 	} else if n > s.cfg.MaxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d votes exceeds limit %d", n, s.cfg.MaxBatch)
+		writeError(w, http.StatusRequestEntityTooLarge, codeBatchTooLarge, "batch of %d votes exceeds limit %d", n, s.cfg.MaxBatch)
 		return
 	}
 
@@ -653,7 +768,7 @@ func (s *server) handleAppendVotes(w http.ResponseWriter, r *http.Request) {
 			batch[i] = dqm.Vote{Item: v.Item, Worker: v.Worker, Dirty: v.Dirty}
 		}
 		if err := sess.AppendVotes(batch, req.EndTask); err != nil {
-			writeError(w, ingestStatus(err), "%v", err)
+			writeError(w, ingestStatus(err), ingestCode(err), "%v", err)
 			return
 		}
 		votesApplied = len(req.Votes)
@@ -682,19 +797,19 @@ func (s *server) handleAppendDQMV(w http.ResponseWriter, r *http.Request, sess *
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge, "request body exceeds %d bytes", mbe.Limit)
 			return
 		}
-		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+		writeError(w, http.StatusBadRequest, codeInvalidBody, "reading request body: %v", err)
 		return
 	}
 	blocks, err := votelog.SplitBinaryTasks(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeInvalidBatch, "%v", err)
 		return
 	}
 	if len(blocks) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
+		writeError(w, http.StatusBadRequest, codeInvalidBatch, "empty batch")
 		return
 	}
 	total := 0
@@ -702,7 +817,7 @@ func (s *server) handleAppendDQMV(w http.ResponseWriter, r *http.Request, sess *
 		total += b.Votes
 	}
 	if total > s.cfg.MaxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d votes exceeds limit %d", total, s.cfg.MaxBatch)
+		writeError(w, http.StatusRequestEntityTooLarge, codeBatchTooLarge, "batch of %d votes exceeds limit %d", total, s.cfg.MaxBatch)
 		return
 	}
 	votesApplied, tasksDone := 0, 0
@@ -737,15 +852,15 @@ func ingestStatus(err error) int {
 
 // writePartialIngest reports an entries-batch failure together with the
 // tasks/votes that were already applied (per-task atomicity: completed tasks
-// are not rolled back).
+// are not rolled back). The progress counters ride the envelope's details so
+// clients resume from the exact failure point.
 func writePartialIngest(w http.ResponseWriter, sess *dqm.Session, err error, votesApplied, tasksDone int) {
-	writeJSON(w, ingestStatus(err), map[string]any{
-		"error":       err.Error(),
+	writeErrorDetails(w, ingestStatus(err), ingestCode(err), map[string]any{
 		"ingested":    votesApplied,
 		"tasks_ended": tasksDone,
 		"total_votes": sess.TotalVotes(),
 		"tasks":       sess.Tasks(),
-	})
+	}, "%v", err)
 }
 
 // estimatesJSON is the wire form of dqm.Estimates.
@@ -860,7 +975,7 @@ func (s *server) handleEstimates(w http.ResponseWriter, r *http.Request) {
 		if wq := q.Get("window"); wq != "" {
 			kind, err := dqm.ParseWindowKind(wq)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, "%v", err)
+				writeError(w, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 				return
 			}
 			view = viewForKind(kind)
@@ -877,15 +992,15 @@ func (s *server) handleEstimates(w http.ResponseWriter, r *http.Request) {
 		}
 		body, version, err, ok := s.hub.Payload(sess.ID(), view)
 		if !ok {
-			writeError(w, http.StatusNotFound, "unknown session %q", sess.ID())
+			writeError(w, http.StatusNotFound, codeSessionNotFound, "unknown session %q", sess.ID())
 			return
 		}
 		if err != nil {
 			if errors.Is(err, errEncode) {
-				writeError(w, http.StatusInternalServerError, "%v", err)
+				writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
 			} else {
 				// Windowed view without data yet (or no window config).
-				writeError(w, http.StatusConflict, "%v", err)
+				writeError(w, http.StatusConflict, codeWindowNotReady, "%v", err)
 			}
 			return
 		}
@@ -897,20 +1012,20 @@ func (s *server) handleEstimates(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if q.Get("window") != "" {
-		writeError(w, http.StatusBadRequest, "ci is not supported on windowed estimates")
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "ci is not supported on windowed estimates")
 		return
 	}
 	out := estimatesToJSON(sess)
 	if q := r.URL.Query().Get("ci"); q != "" {
 		level, err := strconv.ParseFloat(q, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad ci level %q", q)
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "bad ci level %q", q)
 			return
 		}
 		reps := 200
 		if rq := r.URL.Query().Get("replicates"); rq != "" {
 			if reps, err = strconv.Atoi(rq); err != nil {
-				writeError(w, http.StatusBadRequest, "bad replicates %q", rq)
+				writeError(w, http.StatusBadRequest, codeInvalidArgument, "bad replicates %q", rq)
 				return
 			}
 		}
@@ -919,12 +1034,12 @@ func (s *server) handleEstimates(w http.ResponseWriter, r *http.Request) {
 		// unbounded count would let one request monopolize the CI workers.
 		const maxReplicates = 10000
 		if reps > maxReplicates {
-			writeError(w, http.StatusBadRequest, "replicates %d exceeds limit %d", reps, maxReplicates)
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "replicates %d exceeds limit %d", reps, maxReplicates)
 			return
 		}
 		ci, err := sess.SwitchCI(reps, level)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 			return
 		}
 		out.SwitchCI = &ciJSON{Lo: ci.Lo, Hi: ci.Hi, Level: ci.Level}
@@ -952,7 +1067,7 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		writeError(w, http.StatusInternalServerError, codeInternal, "streaming unsupported by connection")
 		return
 	}
 	q := r.URL.Query()
@@ -960,7 +1075,7 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	if wq := q.Get("window"); wq != "" {
 		kind, err := dqm.ParseWindowKind(wq)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 			return
 		}
 		view = viewForKind(kind)
@@ -971,11 +1086,11 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		// yet" is the one genuinely transient case and stays silent below.
 		wcfg, ok := sess.WindowConfig()
 		if !ok {
-			writeError(w, http.StatusConflict, "session %q has no window configuration", sess.ID())
+			writeError(w, http.StatusConflict, codeWindowNotReady, "session %q has no window configuration", sess.ID())
 			return
 		}
 		if kind == dqm.WindowDecayed && wcfg.DecayAlpha == 0 {
-			writeError(w, http.StatusConflict, "session %q has no decayed aggregate (decay_alpha is 0)", sess.ID())
+			writeError(w, http.StatusConflict, codeWindowNotReady, "session %q has no decayed aggregate (decay_alpha is 0)", sess.ID())
 			return
 		}
 	}
@@ -983,7 +1098,7 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	if iq := q.Get("min_interval"); iq != "" {
 		d, err := time.ParseDuration(iq)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad min_interval %q", iq)
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "bad min_interval %q", iq)
 			return
 		}
 		if d > interval {
@@ -998,7 +1113,7 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	if cursorQ != "" {
 		c, err := strconv.ParseUint(cursorQ, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad cursor %q", cursorQ)
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "bad cursor %q", cursorQ)
 			return
 		}
 		cursor = c
@@ -1062,18 +1177,18 @@ func (s *server) handleBatchEstimates(w http.ResponseWriter, r *http.Request) {
 	}
 	const maxBatchIDs = 10000
 	if len(req.IDs) == 0 {
-		writeError(w, http.StatusBadRequest, "empty ids")
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "empty ids")
 		return
 	}
 	if len(req.IDs) > maxBatchIDs {
-		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d ids exceeds limit %d", len(req.IDs), maxBatchIDs)
+		writeError(w, http.StatusRequestEntityTooLarge, codeBatchTooLarge, "batch of %d ids exceeds limit %d", len(req.IDs), maxBatchIDs)
 		return
 	}
 	view := hub.ViewAll
 	if req.Window != "" {
 		kind, err := dqm.ParseWindowKind(req.Window)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 			return
 		}
 		view = viewForKind(kind)
@@ -1174,11 +1289,11 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	}
 	s.snapMu.Unlock()
 	if snap == nil {
-		writeError(w, http.StatusNotFound, "unknown snapshot %q for session %q", req.SnapshotID, sess.ID())
+		writeError(w, http.StatusNotFound, codeSnapshotNotFound, "unknown snapshot %q for session %q", req.SnapshotID, sess.ID())
 		return
 	}
 	if err := sess.Restore(snap); err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, http.StatusConflict, codeConflict, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, estimatesToJSON(sess))

@@ -311,17 +311,22 @@ func TestPartialEntriesIngestReportsApplied(t *testing.T) {
 		{"task": 2, "item": 4, "worker": 1, "dirty": false},
 	}
 	out := do(t, srv, "POST", "/v1/sessions/p/votes", map[string]any{"entries": entries}, http.StatusBadRequest)
-	if out["error"] == nil {
-		t.Fatalf("no error field in %v", out)
+	env, _ := out["error"].(map[string]any)
+	if env == nil {
+		t.Fatalf("no error envelope in %v", out)
 	}
-	if got := out["ingested"].(float64); got != 3 {
-		t.Fatalf("ingested = %v, want 3 (tasks 0 and 1 applied)", out["ingested"])
+	if code, _ := env["code"].(string); code != "invalid_batch" {
+		t.Fatalf("code = %q, want invalid_batch", code)
 	}
-	if got := out["tasks_ended"].(float64); got != 2 {
-		t.Fatalf("tasks_ended = %v, want 2", out["tasks_ended"])
+	details, _ := env["details"].(map[string]any)
+	if got := details["ingested"].(float64); got != 3 {
+		t.Fatalf("ingested = %v, want 3 (tasks 0 and 1 applied)", details["ingested"])
 	}
-	if got := out["total_votes"].(float64); got != 3 {
-		t.Fatalf("total_votes = %v, want 3", out["total_votes"])
+	if got := details["tasks_ended"].(float64); got != 2 {
+		t.Fatalf("tasks_ended = %v, want 2", details["tasks_ended"])
+	}
+	if got := details["total_votes"].(float64); got != 3 {
+		t.Fatalf("total_votes = %v, want 3", details["total_votes"])
 	}
 	// The bad task was atomically rejected: a follow-up estimate sees only
 	// the applied tasks.

@@ -492,6 +492,13 @@ func (e *Engine) DeleteSession(id string) bool { return e.e.Delete(id) }
 // includes journaled sessions currently evicted from memory.
 func (e *Engine) SessionIDs() []string { return e.e.IDs() }
 
+// SetSessionPolicy attaches (or, with empty raw, detaches) an opaque
+// quality-gate policy document to a session. The engine does not interpret
+// the document — cmd/dqm-serve's policy layer (internal/policy) validates and
+// evaluates it — but persists it in the session's metadata on a durable
+// engine, so policies survive restart, eviction and revival.
+func (e *Engine) SetSessionPolicy(id string, raw []byte) error { return e.e.SetPolicy(id, raw) }
+
 // NumSessions returns the number of live sessions.
 func (e *Engine) NumSessions() int { return e.e.Len() }
 
@@ -642,6 +649,11 @@ func (s *Session) Notify(ch chan<- struct{}) { s.s.AddNotifier(ch) }
 // may still arrive after StopNotify returns (a concurrent mutation can load
 // the notifier set before the swap); receivers must tolerate it.
 func (s *Session) StopNotify(ch chan<- struct{}) { s.s.RemoveNotifier(ch) }
+
+// PolicyJSON returns the session's attached quality-gate policy document
+// (see Engine.SetSessionPolicy), or nil when none is attached. The returned
+// bytes are shared and must not be mutated.
+func (s *Session) PolicyJSON() []byte { return s.s.PolicyJSON() }
 
 // Windowed reports whether the session was created with a window config.
 func (s *Session) Windowed() bool { return s.s.Windowed() }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"dqm/internal/estimator"
+	"dqm/internal/policy"
 	"dqm/internal/votelog"
 	"dqm/internal/votes"
 	"dqm/internal/wal"
@@ -41,6 +43,63 @@ func BenchmarkSessionIngest(b *testing.B) {
 	// 0-allocs/op gate below now also covers the hub's wakeup hook.
 	notify := make(chan struct{}, 1)
 	s.AddNotifier(notify)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(batches[i%len(batches)], true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "votes/s")
+}
+
+// benchGateSource adapts the engine session to policy.Source for the gated
+// ingest benchmark (the same few-line adapter dqm-serve and dqm-loadgen use).
+type benchGateSource struct{ s *Session }
+
+func (g benchGateSource) Version() uint64               { return g.s.Version() }
+func (g benchGateSource) Notify(ch chan<- struct{})     { g.s.AddNotifier(ch) }
+func (g benchGateSource) StopNotify(ch chan<- struct{}) { g.s.RemoveNotifier(ch) }
+
+func (g benchGateSource) Inputs(need policy.Needs) (policy.Inputs, error) {
+	in := policy.Inputs{Version: g.s.Version()}
+	est := g.s.Estimates()
+	if r := est.Switch.Total - est.Voting; r > 0 {
+		in.Remaining = r
+	}
+	in.SwitchTotal = est.Switch.Total
+	in.Tasks = g.s.Tasks()
+	in.Votes = g.s.TotalVotes()
+	return in, nil
+}
+
+// BenchmarkSessionIngestGated is BenchmarkSessionIngest with a quality gate
+// attached: an event-driven policy.Gate rides the session's notifier and
+// re-evaluates (rate-limited) while ingest runs. The pinned contract is that
+// alerting costs the ingest hot path nothing — still 0 allocs/op — because
+// the gate's work happens on its own goroutine off a non-blocking cap-1
+// wakeup, and MinInterval coalesces per-batch notifications so evaluation
+// (and its one JSON encode) amortizes to noise against millions of appends.
+func BenchmarkSessionIngestGated(b *testing.B) {
+	const n, batchSize = 10000, 10
+	s := NewSession("bench", n, SessionConfig{
+		Suite: estimator.SuiteConfig{WithoutHistory: true},
+	})
+	p := &policy.Policy{Rules: []policy.Rule{
+		{Name: "remaining-errors", Metric: policy.MetricRemaining, Op: ">", Value: 1e12},
+	}}
+	if err := p.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	g := policy.NewGate(p, benchGateSource{s}, policy.GateConfig{
+		SessionID:   "bench",
+		MinInterval: time.Millisecond,
+	})
+	defer g.Close()
+	batches := make([][]votes.Vote, 64)
+	for i := range batches {
+		batches[i] = syntheticBatch(n, batchSize, i)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -362,6 +362,7 @@ func (e *Engine) recoverSession(id string, cols *votelog.VoteColumns) (*Session,
 	if !meta.CreatedAt.IsZero() {
 		s.created = meta.CreatedAt
 	}
+	s.setPolicy(meta.Policy)
 	n := meta.Items
 	// Window rotations replay deterministically from the task stream; the
 	// journaled opWindow records are the cross-check. Every rotation the
@@ -750,6 +751,30 @@ func (e *Engine) Close() error {
 		firstErr = err
 	}
 	return firstErr
+}
+
+// SetPolicy attaches (or, with empty raw, detaches) a quality-gate policy
+// document to the session registered under id. The document is opaque JSON —
+// validation is the API layer's job — persisted in the session's meta.json on
+// a durable engine, so it survives restart and revival. The disk write
+// happens under the id's transition lock (serialized against Create, Load,
+// Delete and eviction of the same id) and BEFORE the in-memory publish, so a
+// crash between the two leaves the durable state ahead, never behind.
+func (e *Engine) SetPolicy(id string, raw []byte) error {
+	s, ok := e.GetOrLoad(id)
+	if !ok {
+		return fmt.Errorf("engine: unknown session %q", id)
+	}
+	if e.store != nil {
+		l := e.lockID(id)
+		err := e.store.UpdateMeta(id, func(m *wal.Meta) { m.Policy = raw })
+		e.unlockID(id, l)
+		if err != nil {
+			return fmt.Errorf("engine: session %q: persist policy: %w", id, err)
+		}
+	}
+	s.setPolicy(raw)
+	return nil
 }
 
 // Get returns the session registered under id.

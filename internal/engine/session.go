@@ -130,6 +130,12 @@ type Session struct {
 	// costs ingest a single pointer load.
 	notifiers atomic.Pointer[[]chan<- struct{}]
 	notifyMu  sync.Mutex
+
+	// policy is the session's attached quality-gate policy document, opaque
+	// JSON owned by the API layer (package policy parses it; the engine only
+	// persists it in session meta and hands it back). Atomic so readers on the
+	// request path never take the session mutex; nil means none attached.
+	policy atomic.Pointer[[]byte]
 }
 
 // estimateCache pairs an estimate snapshot with the session version it was
@@ -202,6 +208,29 @@ func (s *Session) CreatedAt() time.Time { return s.created }
 func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) }
 
 func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+// PolicyJSON returns the session's attached quality-gate policy document, or
+// nil when none is attached. The returned bytes are shared and must not be
+// mutated.
+func (s *Session) PolicyJSON() []byte {
+	if p := s.policy.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// setPolicy publishes a policy document on the session (nil or empty clears).
+// Durable persistence is the engine's job (SetPolicy); this only swaps the
+// in-memory copy.
+func (s *Session) setPolicy(raw []byte) {
+	if len(raw) == 0 {
+		s.policy.Store(nil)
+		return
+	}
+	cp := make([]byte, len(raw))
+	copy(cp, raw)
+	s.policy.Store(&cp)
+}
 
 // bump publishes one applied mutation to lock-free readers. Call under mu,
 // after the state change. Registered notifiers get a non-blocking signal: a

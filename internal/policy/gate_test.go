@@ -1,0 +1,310 @@
+package policy
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeSource is a minimal Source with engine-like notifier semantics:
+// non-blocking cap-1 sends on every Bump.
+type fakeSource struct {
+	mu       sync.Mutex
+	version  uint64
+	in       Inputs
+	chans    []chan<- struct{}
+	inErr    error
+	inCalls  atomic.Int64
+	needSeen atomic.Value // Needs
+}
+
+func (f *fakeSource) Version() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.version
+}
+
+func (f *fakeSource) Notify(ch chan<- struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.chans = append(f.chans, ch)
+}
+
+func (f *fakeSource) StopNotify(ch chan<- struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, c := range f.chans {
+		if c == ch {
+			f.chans = append(f.chans[:i], f.chans[i+1:]...)
+			return
+		}
+	}
+}
+
+func (f *fakeSource) Inputs(need Needs) (Inputs, error) {
+	f.inCalls.Add(1)
+	f.needSeen.Store(need)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.inErr != nil {
+		return Inputs{}, f.inErr
+	}
+	in := f.in
+	in.Version = f.version
+	return in, nil
+}
+
+// Set mutates the source and wakes subscribers, like engine bump().
+func (f *fakeSource) Set(in Inputs) {
+	f.mu.Lock()
+	f.version++
+	f.in = in
+	chans := append([]chan<- struct{}(nil), f.chans...)
+	f.mu.Unlock()
+	for _, ch := range chans {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func waitFor(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func quarantinePolicy() *Policy {
+	return &Policy{Rules: []Rule{{Name: "dirty", Metric: MetricRemaining, Op: ">", Value: 10}}}
+}
+
+func TestGateSeedsFrameSynchronously(t *testing.T) {
+	src := &fakeSource{}
+	src.Set(Inputs{Remaining: 50})
+	g := NewGate(quarantinePolicy(), src, GateConfig{SessionID: "s"})
+	defer g.Close()
+	f := g.Frame()
+	if f == nil {
+		t.Fatal("frame nil after NewGate")
+	}
+	if f.Action != ActionQuarantine || f.Version != 1 {
+		t.Fatalf("seed frame = action %v version %d, want quarantine v1", f.Action, f.Version)
+	}
+	if !bytes.Contains(f.Body, []byte(`"action":"quarantine"`)) {
+		t.Fatalf("body %s lacks action", f.Body)
+	}
+	if f.Decision.Session != "s" {
+		t.Fatalf("decision session = %q", f.Decision.Session)
+	}
+}
+
+func TestGateEventDrivenReEvaluation(t *testing.T) {
+	src := &fakeSource{}
+	src.Set(Inputs{Remaining: 0})
+	var transitions atomic.Int64
+	g := NewGate(quarantinePolicy(), src, GateConfig{
+		SessionID: "s",
+		OnTransition: func(prev, cur Action, dec Decision, body []byte) {
+			if transitions.Add(1) == 1 {
+				if prev != ActionProceed || cur != ActionQuarantine {
+					t.Errorf("transition %v -> %v, want proceed -> quarantine", prev, cur)
+				}
+				if len(body) == 0 || dec.Action != "quarantine" {
+					t.Errorf("transition payload dec=%+v body=%d bytes", dec, len(body))
+				}
+			}
+		},
+	})
+	defer g.Close()
+
+	if g.Frame().Action != ActionProceed {
+		t.Fatalf("seed action = %v", g.Frame().Action)
+	}
+	calls := src.inCalls.Load()
+
+	// No mutation → no evaluation (event-driven, zero idle cost).
+	time.Sleep(50 * time.Millisecond)
+	if got := src.inCalls.Load(); got != calls {
+		t.Fatalf("gate evaluated %d times while idle", got-calls)
+	}
+
+	src.Set(Inputs{Remaining: 50})
+	waitFor(t, "quarantine frame", func() bool { return g.Frame().Action == ActionQuarantine })
+	if transitions.Load() != 1 {
+		t.Fatalf("transitions = %d, want 1", transitions.Load())
+	}
+	if g.Frame().Version != 2 {
+		t.Fatalf("frame version = %d, want 2", g.Frame().Version)
+	}
+
+	// Back below threshold → transition back.
+	src.Set(Inputs{Remaining: 1})
+	waitFor(t, "proceed frame", func() bool { return g.Frame().Action == ActionProceed })
+}
+
+func TestGateCoalescesBursts(t *testing.T) {
+	src := &fakeSource{}
+	src.Set(Inputs{})
+	g := NewGate(quarantinePolicy(), src, GateConfig{MinInterval: 20 * time.Millisecond})
+	defer g.Close()
+	before := src.inCalls.Load()
+	for i := 0; i < 100; i++ {
+		src.Set(Inputs{Remaining: float64(i)})
+	}
+	waitFor(t, "frame to catch up", func() bool { return !g.Stale() })
+	evals := src.inCalls.Load() - before
+	if evals > 10 {
+		t.Fatalf("burst of 100 mutations triggered %d evaluations, want coalescing", evals)
+	}
+}
+
+func TestGateSetPolicySynchronous(t *testing.T) {
+	src := &fakeSource{}
+	src.Set(Inputs{Remaining: 50})
+	g := NewGate(quarantinePolicy(), src, GateConfig{})
+	defer g.Close()
+	if g.Frame().Action != ActionQuarantine {
+		t.Fatalf("seed = %v", g.Frame().Action)
+	}
+	g.SetPolicy(&Policy{Rules: []Rule{{Name: "lax", Metric: MetricRemaining, Op: ">", Value: 1000}}})
+	if g.Frame().Action != ActionProceed {
+		t.Fatalf("after SetPolicy frame = %v, want proceed immediately", g.Frame().Action)
+	}
+}
+
+func TestGateInputsErrorKeepsPreviousFrame(t *testing.T) {
+	src := &fakeSource{}
+	src.Set(Inputs{Remaining: 50})
+	g := NewGate(quarantinePolicy(), src, GateConfig{})
+	defer g.Close()
+	want := g.Frame()
+	src.mu.Lock()
+	src.inErr = errTest
+	src.mu.Unlock()
+	src.Set(Inputs{})
+	time.Sleep(20 * time.Millisecond)
+	if got := g.Frame(); got.Version != want.Version || got.Action != want.Action {
+		t.Fatalf("frame changed on inputs error: %+v", got)
+	}
+}
+
+var errTest = &net_Error{}
+
+type net_Error struct{}
+
+func (*net_Error) Error() string { return "transient" }
+
+func TestGateNeedsPropagated(t *testing.T) {
+	src := &fakeSource{}
+	src.Set(Inputs{})
+	p := &Policy{
+		Rules: []Rule{{Name: "ci", Metric: MetricCIUpper, Op: ">", Value: 9}},
+		CI:    &CIParams{Level: 0.9, Replicates: 50},
+	}
+	g := NewGate(p, src, GateConfig{})
+	defer g.Close()
+	need := src.needSeen.Load().(Needs)
+	if !need.CI || need.CILevel != 0.9 || need.CIReplicates != 50 {
+		t.Fatalf("need = %+v", need)
+	}
+}
+
+func TestGateCloseUnregisters(t *testing.T) {
+	src := &fakeSource{}
+	src.Set(Inputs{})
+	g := NewGate(quarantinePolicy(), src, GateConfig{})
+	g.Close()
+	g.Close() // idempotent
+	src.mu.Lock()
+	n := len(src.chans)
+	src.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d notifiers still registered after Close", n)
+	}
+}
+
+func TestDispatcherDeliversWithRetry(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.WriteHeader(http.StatusInternalServerError) // fail first attempt
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	d := NewDispatcher(DispatcherConfig{BaseBackoff: time.Millisecond, MaxAttempts: 3})
+	defer d.Close()
+	if !d.Enqueue(Delivery{URL: srv.URL, Body: []byte(`{"action":"quarantine"}`)}) {
+		t.Fatal("enqueue refused")
+	}
+	waitFor(t, "delivery", func() bool { return d.Deliveries() == 1 })
+	if hits.Load() != 2 {
+		t.Fatalf("server hit %d times, want 2 (one retry)", hits.Load())
+	}
+	if d.DeadLetters() != 0 {
+		t.Fatalf("dead letters = %d", d.DeadLetters())
+	}
+}
+
+func TestDispatcherDeadLettersAfterExhaustion(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	d := NewDispatcher(DispatcherConfig{BaseBackoff: time.Millisecond, MaxAttempts: 2})
+	defer d.Close()
+	d.Enqueue(Delivery{URL: srv.URL, Body: []byte(`{}`)})
+	waitFor(t, "dead letter", func() bool { return d.DeadLetters() == 1 })
+	if d.Deliveries() != 0 {
+		t.Fatalf("deliveries = %d", d.Deliveries())
+	}
+}
+
+func TestDispatcherQueueOverflowCountsDeadLetter(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+	d := NewDispatcher(DispatcherConfig{QueueSize: 1, Workers: 1, MaxAttempts: 1, Timeout: 10 * time.Second})
+	defer d.Close()
+	d.Enqueue(Delivery{URL: srv.URL, Body: []byte(`{}`)}) // occupies the worker
+	waitFor(t, "worker busy", func() bool { return len(d.queue) == 0 })
+	d.Enqueue(Delivery{URL: srv.URL, Body: []byte(`{}`)}) // fills the queue
+	if d.Enqueue(Delivery{URL: srv.URL, Body: []byte(`{}`)}) {
+		t.Fatal("enqueue succeeded on full queue")
+	}
+	if d.DeadLetters() != 1 {
+		t.Fatalf("dead letters = %d, want 1", d.DeadLetters())
+	}
+}
+
+func TestDispatcherPerDeliveryOverrides(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	d := NewDispatcher(DispatcherConfig{BaseBackoff: time.Millisecond, MaxAttempts: 5})
+	defer d.Close()
+	d.Enqueue(Delivery{URL: srv.URL, Body: []byte(`{}`), MaxAttempts: 1})
+	waitFor(t, "dead letter", func() bool { return d.DeadLetters() == 1 })
+	if hits.Load() != 1 {
+		t.Fatalf("hits = %d, want exactly 1 (override MaxAttempts)", hits.Load())
+	}
+}

@@ -1,0 +1,29 @@
+package policy
+
+import "dqm/internal/metrics"
+
+// Gate-plane instruments, on the shared Default registry like the engine's.
+// Evaluations are event-driven (one per coalesced session mutation burst),
+// so these counters also bound the gate plane's CPU cost: an idle fleet of
+// gated sessions shows dqm_gate_evaluations_total flat.
+var (
+	metricGateEvaluations = metrics.Default.Counter("dqm_gate_evaluations_total",
+		"Gate policy evaluations (event-driven; one per coalesced session mutation burst plus policy swaps).")
+	metricGateDecisionsProceed = metrics.Default.Counter("dqm_gate_decisions_total",
+		"Gate decisions by resulting action.",
+		metrics.Label{Name: "action", Value: "proceed"})
+	metricGateDecisionsWarn = metrics.Default.Counter("dqm_gate_decisions_total",
+		"Gate decisions by resulting action.",
+		metrics.Label{Name: "action", Value: "warn"})
+	metricGateDecisionsQuarantine = metrics.Default.Counter("dqm_gate_decisions_total",
+		"Gate decisions by resulting action.",
+		metrics.Label{Name: "action", Value: "quarantine"})
+	metricGateTransitions = metrics.Default.Counter("dqm_gate_transitions_total",
+		"Gate decision action changes (the alerting edge: webhooks fire here, not per evaluation).")
+	metricWebhookDeliveries = metrics.Default.Counter("dqm_webhook_deliveries_total",
+		"Webhook deliveries acknowledged with a 2xx.")
+	metricWebhookRetries = metrics.Default.Counter("dqm_webhook_retries_total",
+		"Webhook delivery retries (failed attempts that will be retried with backoff).")
+	metricWebhookFailures = metrics.Default.Counter("dqm_webhook_failures_total",
+		"Webhook dead letters: deliveries abandoned after exhausting retries or dropped on a full queue.")
+)

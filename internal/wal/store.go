@@ -80,14 +80,19 @@ func abortedCreate(dir string) bool {
 // Dir returns the data directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Meta is the immutable descriptor of one journaled session, persisted as
-// meta.json in its directory.
+// Meta is the descriptor of one journaled session, persisted as meta.json in
+// its directory. Identity fields (ID, Items, CreatedAt, Config) are written
+// once at Create and never change; Policy is the one mutable field — attached
+// and detached over the session's lifetime via UpdateMeta.
 type Meta struct {
 	Version   int             `json:"version"`
 	ID        string          `json:"id"`
 	Items     int             `json:"items"`
 	CreatedAt time.Time       `json:"created_at"`
 	Config    json.RawMessage `json:"config,omitempty"`
+	// Policy is the session's quality-gate policy document (opaque to the
+	// WAL layer); empty means none attached.
+	Policy json.RawMessage `json:"policy,omitempty"`
 }
 
 // maxHexID bounds the raw-byte length hex-escaped into a directory name;
@@ -338,6 +343,25 @@ func (s *Store) ReadMeta(id string) (Meta, error) {
 		return m, err
 	}
 	return m, nil
+}
+
+// UpdateMeta rewrites a session's meta.json through mutate, with the same
+// atomic temp+fsync+rename discipline as Create. Identity fields set by
+// mutate are ignored — only the mutable ones (currently Policy) are taken
+// from the mutated copy, so an update can never corrupt the descriptor the
+// recovery path depends on. The caller must serialize against concurrent
+// Create/Delete of the same id (the engine holds its per-id transition lock).
+func (s *Store) UpdateMeta(id string, mutate func(*Meta)) error {
+	dir := s.sessionDir(id)
+	cur, err := readMetaFile(dir)
+	if err != nil {
+		return err
+	}
+	next := cur
+	mutate(&next)
+	next.Version, next.ID, next.Items, next.CreatedAt, next.Config =
+		cur.Version, cur.ID, cur.Items, cur.CreatedAt, cur.Config
+	return writeMeta(dir, next)
 }
 
 // readMetaFile loads and validates the meta.json inside a session directory.
